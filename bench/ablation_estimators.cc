@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation: the computation function f over the LHB. The paper "tried
+ * different LHB functions such as strides and deltas and found average
+ * to be most accurate" (section VI); this bench reproduces that design
+ * decision by sweeping AVERAGE / LAST / STRIDE.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Estimator ablation (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const Estimator fns[] = {Estimator::Average, Estimator::Last,
+                             Estimator::Stride};
+
+    Table mpki({"benchmark", "AVERAGE", "LAST", "STRIDE"});
+    Table error({"benchmark", "AVERAGE", "LAST", "STRIDE"});
+
+    std::vector<double> mpki_sum(3, 0.0), err_sum(3, 0.0);
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> m_row = {name};
+        std::vector<std::string> e_row = {name};
+        for (u32 i = 0; i < 3; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.estimator = fns[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            m_row.push_back(fmtDouble(r.normMpki, 3));
+            e_row.push_back(fmtPercent(r.outputError, 1));
+            mpki_sum[i] += r.normMpki;
+            err_sum[i] += r.outputError;
+        }
+        mpki.addRow(m_row);
+        error.addRow(e_row);
+    }
+    const double n = static_cast<double>(allWorkloadNames().size());
+    mpki.addRow({"average", fmtDouble(mpki_sum[0] / n, 3),
+                 fmtDouble(mpki_sum[1] / n, 3),
+                 fmtDouble(mpki_sum[2] / n, 3)});
+    error.addRow({"average", fmtPercent(err_sum[0] / n, 1),
+                  fmtPercent(err_sum[1] / n, 1),
+                  fmtPercent(err_sum[2] / n, 1)});
+
+    mpki.print("Estimator ablation: normalized MPKI");
+    error.print("Estimator ablation: output error");
+    mpki.writeCsv("results/ablation_estimators_mpki.csv");
+    error.writeCsv("results/ablation_estimators_error.csv");
+    std::printf("\nwrote results/ablation_estimators_{mpki,error}.csv\n");
+    return 0;
+}

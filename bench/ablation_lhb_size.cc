@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: local history buffer depth (the baseline uses 4 entries).
+ * Deeper LHBs smooth the AVERAGE estimate but respond more slowly to
+ * value drift.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("LHB-size ablation (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 sizes[] = {1, 2, 4, 8};
+
+    Table mpki({"benchmark", "LHB-1", "LHB-2", "LHB-4", "LHB-8"});
+    Table error({"benchmark", "LHB-1", "LHB-2", "LHB-4", "LHB-8"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> m_row = {name};
+        std::vector<std::string> e_row = {name};
+        for (u32 entries : sizes) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.lhbEntries = entries;
+            const EvalResult r = eval.evaluate(name, cfg);
+            m_row.push_back(fmtDouble(r.normMpki, 3));
+            e_row.push_back(fmtPercent(r.outputError, 1));
+        }
+        mpki.addRow(m_row);
+        error.addRow(e_row);
+    }
+
+    mpki.print("LHB-size ablation: normalized MPKI");
+    error.print("LHB-size ablation: output error");
+    mpki.writeCsv("results/ablation_lhb_size_mpki.csv");
+    error.writeCsv("results/ablation_lhb_size_error.csv");
+    std::printf("\nwrote results/ablation_lhb_size_{mpki,error}.csv\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: approximator table size. Paper section VII-A argues the
+ * hardware budget can shrink well below 512 entries because so few
+ * static loads access approximate data (Figure 12); this bench sweeps
+ * the table from 32 to 2048 entries.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Table-size ablation (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 sizes[] = {32, 128, 512, 2048};
+
+    Table mpki({"benchmark", "32", "128", "512", "2048"});
+    Table error({"benchmark", "32", "128", "512", "2048"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> m_row = {name};
+        std::vector<std::string> e_row = {name};
+        for (u32 entries : sizes) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.tableEntries = entries;
+            const EvalResult r = eval.evaluate(name, cfg);
+            m_row.push_back(fmtDouble(r.normMpki, 3));
+            e_row.push_back(fmtPercent(r.outputError, 1));
+        }
+        mpki.addRow(m_row);
+        error.addRow(e_row);
+    }
+
+    mpki.print("Table-size ablation: normalized MPKI by entries");
+    error.print("Table-size ablation: output error by entries");
+    mpki.writeCsv("results/ablation_table_size_mpki.csv");
+    error.writeCsv("results/ablation_table_size_error.csv");
+    std::printf("\nwrote results/ablation_table_size_{mpki,error}.csv\n");
+    return 0;
+}

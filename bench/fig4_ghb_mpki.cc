@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: effective MPKI (normalized to precise
+ * execution) of LVA versus an idealized LVP, for global history buffer
+ * sizes 0, 1, 2 and 4.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 4 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 ghb_sizes[] = {0, 1, 2, 4};
+
+    Table table({"benchmark", "LVP-GHB-0", "LVP-GHB-1", "LVP-GHB-2",
+                 "LVP-GHB-4", "LVA-GHB-0", "LVA-GHB-1", "LVA-GHB-2",
+                 "LVA-GHB-4"});
+
+    std::vector<double> lvp_sum(4, 0.0), lva_sum(4, 0.0);
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.mode = MemMode::Lvp;
+            cfg.approx.ghbEntries = ghb_sizes[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            row.push_back(fmtDouble(r.normMpki, 3));
+            lvp_sum[i] += r.normMpki;
+        }
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.ghbEntries = ghb_sizes[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            row.push_back(fmtDouble(r.normMpki, 3));
+            lva_sum[i] += r.normMpki;
+        }
+        table.addRow(row);
+    }
+
+    const double n = static_cast<double>(allWorkloadNames().size());
+    std::vector<std::string> avg = {"average"};
+    for (u32 i = 0; i < 4; ++i)
+        avg.push_back(fmtDouble(lvp_sum[i] / n, 3));
+    for (u32 i = 0; i < 4; ++i)
+        avg.push_back(fmtDouble(lva_sum[i] / n, 3));
+    table.addRow(avg);
+
+    table.print("Figure 4: normalized MPKI, LVA vs idealized LVP "
+                "(lower is better)");
+    table.writeCsv("results/fig4_ghb_mpki.csv");
+    std::printf("\nwrote results/fig4_ghb_mpki.csv\n");
+    return 0;
+}

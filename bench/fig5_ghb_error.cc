@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: application output error of LVA for
+ * global history buffer sizes 0, 1, 2 and 4 (baseline configuration).
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 5 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 ghb_sizes[] = {0, 1, 2, 4};
+
+    Table table({"benchmark", "GHB-0", "GHB-1", "GHB-2", "GHB-4",
+                 "coverage@GHB-0"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        double coverage0 = 0.0;
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.ghbEntries = ghb_sizes[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            row.push_back(fmtPercent(r.outputError, 1));
+            if (i == 0)
+                coverage0 = r.coverage;
+        }
+        row.push_back(fmtPercent(coverage0, 1));
+        table.addRow(row);
+    }
+
+    table.print("Figure 5: LVA output error by GHB size");
+    table.writeCsv("results/fig5_ghb_error.csv");
+    std::printf("\nwrote results/fig5_ghb_error.csv\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates paper Figure 6: effective MPKI (a) and output error (b)
+ * for relaxed confidence windows of 0% (ideal LVP), 5%, 10%, 20% and
+ * infinite. In this sweep the confidence gate applies to both
+ * floating-point AND integer data (paper section VI-B).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 6 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    struct Window
+    {
+        const char *label;
+        double value;
+        bool lvp;
+    };
+    const Window windows[] = {
+        {"0% (ideal LVP)", 0.0, true},
+        {"5%", 0.05, false},
+        {"10%", 0.10, false},
+        {"20%", 0.20, false},
+        {"infinite", std::numeric_limits<double>::infinity(), false},
+    };
+
+    Table mpki({"benchmark", "0% (ideal LVP)", "5%", "10%", "20%",
+                "infinite"});
+    Table error({"benchmark", "5%", "10%", "20%", "infinite"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> err_row = {name};
+        for (const Window &w : windows) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            if (w.lvp) {
+                cfg.mode = MemMode::Lvp;
+            } else {
+                cfg.approx.confidenceWindow = w.value;
+                cfg.approx.confidenceForInts = true;
+            }
+            const EvalResult r = eval.evaluate(name, cfg);
+            mpki_row.push_back(fmtDouble(r.normMpki, 3));
+            if (!w.lvp)
+                err_row.push_back(fmtPercent(r.outputError, 1));
+        }
+        mpki.addRow(mpki_row);
+        error.addRow(err_row);
+    }
+
+    mpki.print("Figure 6a: normalized MPKI by confidence window");
+    error.print("Figure 6b: output error by confidence window");
+    mpki.writeCsv("results/fig6a_confidence_mpki.csv");
+    error.writeCsv("results/fig6b_confidence_error.csv");
+    std::printf("\nwrote results/fig6a_confidence_mpki.csv, "
+                "results/fig6b_confidence_error.csv\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: effective MPKI (a) and output error (b)
+ * for value delays of 4, 8, 16 and 32 load instructions.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 7 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 delays[] = {4, 8, 16, 32};
+
+    Table mpki({"benchmark", "delay-4", "delay-8", "delay-16",
+                "delay-32"});
+    Table error({"benchmark", "delay-4", "delay-8", "delay-16",
+                 "delay-32"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> err_row = {name};
+        for (u32 d : delays) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.valueDelay = d;
+            const EvalResult r = eval.evaluate(name, cfg);
+            mpki_row.push_back(fmtDouble(r.normMpki, 3));
+            err_row.push_back(fmtPercent(r.outputError, 1));
+        }
+        mpki.addRow(mpki_row);
+        error.addRow(err_row);
+    }
+
+    mpki.print("Figure 7a: normalized MPKI by value delay");
+    error.print("Figure 7b: output error by value delay");
+    mpki.writeCsv("results/fig7a_delay_mpki.csv");
+    error.writeCsv("results/fig7b_delay_error.csv");
+    std::printf("\nwrote results/fig7a_delay_mpki.csv, "
+                "results/fig7b_delay_error.csv\n");
+    return 0;
+}

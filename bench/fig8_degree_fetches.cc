@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: effective MPKI (a) and L1 blocks fetched
+ * (b), normalized to precise execution, comparing GHB prefetching at
+ * degrees 2/4/8/16 against load value approximation at the same
+ * approximation degrees. Prefetching applies to all loads; LVA only to
+ * annotated ones.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 8 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 degrees[] = {2, 4, 8, 16};
+
+    Table mpki({"benchmark", "prefetch-2", "prefetch-4", "prefetch-8",
+                "prefetch-16", "approx-2", "approx-4", "approx-8",
+                "approx-16"});
+    Table fetches({"benchmark", "prefetch-2", "prefetch-4", "prefetch-8",
+                   "prefetch-16", "approx-2", "approx-4", "approx-8",
+                   "approx-16"});
+
+    std::vector<double> pf_fetch_sum(4, 0.0), ap_fetch_sum(4, 0.0);
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> fetch_row = {name};
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.mode = MemMode::Prefetch;
+            cfg.prefetch.degree = degrees[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            mpki_row.push_back(fmtDouble(r.normMpki, 3));
+            fetch_row.push_back(fmtDouble(r.normFetches, 3));
+            pf_fetch_sum[i] += r.normFetches;
+        }
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.approxDegree = degrees[i];
+            const EvalResult r = eval.evaluate(name, cfg);
+            mpki_row.push_back(fmtDouble(r.normMpki, 3));
+            fetch_row.push_back(fmtDouble(r.normFetches, 3));
+            ap_fetch_sum[i] += r.normFetches;
+        }
+        mpki.addRow(mpki_row);
+        fetches.addRow(fetch_row);
+    }
+
+    const double n = static_cast<double>(allWorkloadNames().size());
+    std::vector<std::string> avg_row = {"average"};
+    for (u32 i = 0; i < 4; ++i)
+        avg_row.push_back(fmtDouble(pf_fetch_sum[i] / n, 3));
+    for (u32 i = 0; i < 4; ++i)
+        avg_row.push_back(fmtDouble(ap_fetch_sum[i] / n, 3));
+    fetches.addRow(avg_row);
+
+    mpki.print("Figure 8a: normalized MPKI, prefetching vs LVA degree");
+    fetches.print("Figure 8b: normalized fetches, prefetching vs LVA "
+                  "degree");
+    mpki.writeCsv("results/fig8a_degree_mpki.csv");
+    fetches.writeCsv("results/fig8b_degree_fetches.csv");
+
+    std::printf("\npaper headline: at degree 16, LVA cuts fetched "
+                "blocks by >39%% while prefetching adds 73%%\n");
+    std::printf("measured: LVA %.1f%% cut, prefetching %.1f%% added\n",
+                (1.0 - ap_fetch_sum[3] / n) * 100.0,
+                (pf_fetch_sum[3] / n - 1.0) * 100.0);
+    std::printf("wrote results/fig8a_degree_mpki.csv, "
+                "results/fig8b_degree_fetches.csv\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: LVA output error for approximation
+ * degrees 0, 2, 4, 8 and 16.
+ */
+
+#include <cstdio>
+
+#include "eval/evaluator.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace lva;
+
+    Evaluator eval;
+    std::printf("Figure 9 reproduction (seeds=%u, scale=%.2f)\n",
+                eval.seeds(), eval.scale());
+
+    const u32 degrees[] = {0, 2, 4, 8, 16};
+
+    Table table({"benchmark", "approx-0", "approx-2", "approx-4",
+                 "approx-8", "approx-16"});
+
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        for (u32 d : degrees) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.approxDegree = d;
+            const EvalResult r = eval.evaluate(name, cfg);
+            row.push_back(fmtPercent(r.outputError, 1));
+        }
+        table.addRow(row);
+    }
+
+    table.print("Figure 9: LVA output error by approximation degree");
+    table.writeCsv("results/fig9_degree_error.csv");
+    std::printf("\nwrote results/fig9_degree_error.csv\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the approximator data path:
+ * lookup+generate throughput across GHB sizes, training throughput,
+ * and the idealized LVP baseline for comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/approximator.hh"
+#include "core/lvp.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace lva;
+
+ApproximatorConfig
+configWithGhb(u32 ghb)
+{
+    ApproximatorConfig cfg;
+    cfg.ghbEntries = ghb;
+    cfg.valueDelay = 4;
+    return cfg;
+}
+
+void
+BM_ApproximatorMiss(benchmark::State &state)
+{
+    LoadValueApproximator lva(
+        configWithGhb(static_cast<u32>(state.range(0))));
+    Rng rng(1);
+    u64 pc = 0;
+    for (auto _ : state) {
+        const LoadSiteId site =
+            static_cast<LoadSiteId>(0x400 + (pc++ % 64) * 4);
+        const MissResponse r =
+            lva.onMiss(site, Value::fromFloat(
+                                 static_cast<float>(rng.uniform())));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ApproximatorMiss)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ApproximatorHit(benchmark::State &state)
+{
+    LoadValueApproximator lva(configWithGhb(4));
+    Rng rng(1);
+    for (auto _ : state) {
+        lva.onHit(0x400, Value::fromFloat(
+                             static_cast<float>(rng.uniform())));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ApproximatorHit);
+
+void
+BM_ApproximatorDegree(benchmark::State &state)
+{
+    ApproximatorConfig cfg;
+    cfg.approxDegree = static_cast<u32>(state.range(0));
+    cfg.valueDelay = 0;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(7));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lva.onMiss(0x400, Value::fromInt(7)));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ApproximatorDegree)->Arg(0)->Arg(16);
+
+void
+BM_IdealizedLvpMiss(benchmark::State &state)
+{
+    IdealizedLvp lvp(configWithGhb(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lvp.onMiss(
+            0x400,
+            Value::fromInt(static_cast<i64>(rng.below(16)))));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_IdealizedLvpMiss);
+
+} // namespace
+
+BENCHMARK_MAIN();

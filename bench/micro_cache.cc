@@ -1,0 +1,75 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the cache tag model and the
+ * mesh NoC timing path — the structures every simulated access
+ * touches, so their host throughput bounds experiment runtime.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "noc/mesh.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace lva;
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    Cache cache(CacheConfig::pinL1());
+    cache.insert(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000));
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheRandomAccess(benchmark::State &state)
+{
+    Cache cache({static_cast<u64>(state.range(0)), 8, 64});
+    Rng rng(1);
+    for (auto _ : state) {
+        const Addr addr = rng.below(1 << 16) * 64;
+        if (!cache.access(addr))
+            cache.insert(addr);
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheRandomAccess)->Arg(16 * 1024)->Arg(64 * 1024);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    Cache cache({1024, 2, 64}); // tiny: every insert evicts
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.insert(addr));
+        addr += 64;
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_MeshDeliver(benchmark::State &state)
+{
+    Mesh mesh(MeshConfig{});
+    Rng rng(1);
+    double t = 0.0;
+    for (auto _ : state) {
+        const u32 src = static_cast<u32>(rng.below(4));
+        const u32 dst = static_cast<u32>(rng.below(4));
+        benchmark::DoNotOptimize(
+            mesh.deliver(src, dst, MessageBytes::data, t));
+        t += 4.0;
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_MeshDeliver);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build, test and regenerate every paper table/figure + ablation.
+# Usage: scripts/run_all.sh [quick]
+#   quick: 1 seed, 30% working sets (smoke run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "quick" ]]; then
+    export LVA_SEEDS=1
+    export LVA_SCALE=0.3
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+    echo "### $b"
+    "$b"
+done

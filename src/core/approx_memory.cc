@@ -1,0 +1,225 @@
+#include "core/approx_memory.hh"
+
+#include "util/logging.hh"
+
+namespace lva {
+
+const char *
+memModeName(MemMode mode)
+{
+    switch (mode) {
+      case MemMode::Precise:
+        return "precise";
+      case MemMode::Lva:
+        return "LVA";
+      case MemMode::Lvp:
+        return "LVP";
+      case MemMode::Prefetch:
+        return "prefetch";
+    }
+    return "?";
+}
+
+ApproxMemory::ApproxMemory(const Config &config) : config_(config)
+{
+    lva_assert(config.threads > 0, "need at least one thread");
+    lanes_.resize(config.threads);
+    for (auto &lane : lanes_) {
+        lane.cache = std::make_unique<Cache>(config.cache);
+        switch (config.mode) {
+          case MemMode::Lva:
+            lane.lva =
+                std::make_unique<LoadValueApproximator>(config.approx);
+            break;
+          case MemMode::Lvp:
+            lane.lvp = std::make_unique<IdealizedLvp>(config.approx);
+            break;
+          case MemMode::Prefetch:
+            lane.prefetcher =
+                std::make_unique<GhbPrefetcher>(config.prefetch);
+            break;
+          case MemMode::Precise:
+            break;
+        }
+    }
+}
+
+ApproxMemory::Lane &
+ApproxMemory::laneFor(ThreadId tid)
+{
+    lva_assert(tid < lanes_.size(), "thread %u out of range", tid);
+    return lanes_[tid];
+}
+
+const ApproxMemory::Lane &
+ApproxMemory::laneFor(ThreadId tid) const
+{
+    lva_assert(tid < lanes_.size(), "thread %u out of range", tid);
+    return lanes_[tid];
+}
+
+Value
+ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
+                   const Value &precise, bool approximable,
+                   bool dependent)
+{
+    (void)dependent; // functional simulation: timing-only property
+    Lane &lane = laneFor(tid);
+    MemMetrics &m = lane.metrics;
+    ++m.instructions;
+    ++m.loads;
+    if (approximable)
+        ++m.approximableLoads;
+
+    const bool hit = lane.cache->access(addr, /*is_write=*/false);
+    if (hit) {
+        if (approximable) {
+            if (lane.lva)
+                lane.lva->onHit(pc, precise);
+            else if (lane.lvp)
+                lane.lvp->onHit(pc, precise);
+        }
+        return precise;
+    }
+
+    ++m.loadMisses;
+
+    // --- LVA: the approximator may hide the miss and cancel the fetch.
+    if (lane.lva && approximable) {
+        const MissResponse resp = lane.lva->onMiss(pc, precise);
+        if (resp.fetch) {
+            lane.cache->insert(addr);
+            ++m.fetches;
+        }
+        if (resp.approximated) {
+            ++m.approxLoads;
+            // Approximated values count as cache hits for effective
+            // MPKI (paper section V-A).
+            return resp.value;
+        }
+        ++m.effectiveMisses;
+        return precise;
+    }
+
+    // --- Idealized LVP: always fetches; oracle hides correct ones.
+    if (lane.lvp && approximable) {
+        const bool correct = lane.lvp->onMiss(pc, precise);
+        lane.cache->insert(addr);
+        ++m.fetches;
+        if (correct) {
+            ++m.approxLoads;
+        } else {
+            ++m.effectiveMisses;
+        }
+        // LVP output is always precise (mispredictions roll back).
+        return precise;
+    }
+
+    // --- Prefetcher: demand fetch plus pattern-driven extra fetches.
+    // Unlike LVA, prefetching applies to all loads, annotated or not
+    // (paper section VI-D).
+    if (lane.prefetcher) {
+        ++m.effectiveMisses;
+        lane.cache->insert(addr);
+        ++m.fetches;
+        for (const Addr pf : lane.prefetcher->onMiss(pc, addr)) {
+            if (!lane.cache->probe(pf)) {
+                lane.cache->insert(pf);
+                ++m.fetches;
+            }
+        }
+        return precise;
+    }
+
+    // --- Precise baseline (or non-annotated load under LVA/LVP).
+    ++m.effectiveMisses;
+    lane.cache->insert(addr);
+    ++m.fetches;
+    return precise;
+}
+
+void
+ApproxMemory::store(ThreadId tid, LoadSiteId pc, Addr addr)
+{
+    (void)pc;
+    Lane &lane = laneFor(tid);
+    MemMetrics &m = lane.metrics;
+    ++m.instructions;
+    ++m.stores;
+
+    // Write-allocate, write-back; store misses are off the critical
+    // path (paper section V-A) and never approximated, but they do
+    // fetch blocks.
+    if (!lane.cache->access(addr, /*is_write=*/true)) {
+        lane.cache->insert(addr, /*is_write=*/true);
+        ++m.fetches;
+    }
+}
+
+void
+ApproxMemory::tickInstructions(ThreadId tid, u64 n)
+{
+    laneFor(tid).metrics.instructions += n;
+}
+
+void
+ApproxMemory::finish()
+{
+    for (auto &lane : lanes_) {
+        if (lane.lva)
+            lane.lva->drainPending();
+        if (lane.lvp)
+            lane.lvp->drainPending();
+    }
+}
+
+MemMetrics
+ApproxMemory::metrics() const
+{
+    MemMetrics total;
+    for (const auto &lane : lanes_) {
+        const MemMetrics &m = lane.metrics;
+        total.instructions += m.instructions;
+        total.loads += m.loads;
+        total.stores += m.stores;
+        total.loadMisses += m.loadMisses;
+        total.effectiveMisses += m.effectiveMisses;
+        total.fetches += m.fetches;
+        total.approxLoads += m.approxLoads;
+        total.approximableLoads += m.approximableLoads;
+    }
+    return total;
+}
+
+const Cache &
+ApproxMemory::cacheFor(ThreadId tid) const
+{
+    return *laneFor(tid).cache;
+}
+
+const LoadValueApproximator &
+ApproxMemory::approximatorFor(ThreadId tid) const
+{
+    const Lane &lane = laneFor(tid);
+    lva_assert(lane.lva != nullptr, "thread %u has no approximator", tid);
+    return *lane.lva;
+}
+
+const IdealizedLvp &
+ApproxMemory::lvpFor(ThreadId tid) const
+{
+    const Lane &lane = laneFor(tid);
+    lva_assert(lane.lvp != nullptr, "thread %u has no LVP", tid);
+    return *lane.lvp;
+}
+
+const GhbPrefetcher &
+ApproxMemory::prefetcherFor(ThreadId tid) const
+{
+    const Lane &lane = laneFor(tid);
+    lva_assert(lane.prefetcher != nullptr,
+               "thread %u has no prefetcher", tid);
+    return *lane.prefetcher;
+}
+
+} // namespace lva

@@ -1,0 +1,279 @@
+#include "core/approximator.hh"
+
+#include <cmath>
+
+#include "core/context_hash.hh"
+#include "util/logging.hh"
+
+namespace lva {
+
+const char *
+estimatorName(Estimator e)
+{
+    switch (e) {
+      case Estimator::Average:
+        return "AVERAGE";
+      case Estimator::Last:
+        return "LAST";
+      case Estimator::Stride:
+        return "STRIDE";
+    }
+    return "?";
+}
+
+u64
+ApproximatorConfig::storageBytes(u32 value_bytes) const
+{
+    // Per entry: tag + confidence + degree counter + LHB values.
+    const u64 tag_bits = tagBits;
+    const u64 conf_bits = confidenceBits;
+    const u64 degree_bits = 8;
+    const u64 lhb_bits = u64(lhbEntries) * value_bytes * 8;
+    const u64 entry_bits = tag_bits + conf_bits + degree_bits + lhb_bits;
+    const u64 ghb_bits = u64(ghbEntries) * value_bytes * 8;
+    return (u64(tableEntries) * entry_bits + ghb_bits + 7) / 8;
+}
+
+LoadValueApproximator::LoadValueApproximator(
+    const ApproximatorConfig &config)
+    : config_(config), ghb_(config.ghbEntries)
+{
+    lva_assert(config.tableEntries > 0, "table must have entries");
+    lva_assert(config.lhbEntries > 0, "LHB must have entries");
+    lva_assert(config.tableAssoc > 0 &&
+               config.tableEntries % config.tableAssoc == 0,
+               "associativity %u must divide %u entries",
+               config.tableAssoc, config.tableEntries);
+    table_.reserve(config.tableEntries);
+    for (u32 i = 0; i < config.tableEntries; ++i)
+        table_.emplace_back(config);
+}
+
+LoadValueApproximator::Entry &
+LoadValueApproximator::lookup(u64 hash, u32 &slot, bool &tag_match,
+                              u64 &tag_out)
+{
+    const u32 sets = config_.tableEntries / config_.tableAssoc;
+    const HashSplit split = splitHash(hash, sets, config_.tagBits);
+    tag_out = split.tag;
+    const u32 base = split.index * config_.tableAssoc;
+
+    Entry *victim = nullptr;
+    u32 victim_slot = base;
+    for (u32 w = 0; w < config_.tableAssoc; ++w) {
+        Entry &entry = table_[base + w];
+        if (entry.valid && entry.tag == split.tag) {
+            entry.lastUse = ++useClock_;
+            slot = base + w;
+            tag_match = true;
+            return entry;
+        }
+        if (!entry.valid) {
+            if (victim == nullptr || victim->valid) {
+                victim = &entry;
+                victim_slot = base + w;
+            }
+        } else if (victim == nullptr ||
+                   (victim->valid && entry.lastUse < victim->lastUse)) {
+            victim = &entry;
+            victim_slot = base + w;
+        }
+    }
+    victim->lastUse = ++useClock_;
+    slot = victim_slot;
+    tag_match = false;
+    return *victim;
+}
+
+Value
+LoadValueApproximator::estimate(const Entry &entry) const
+{
+    const auto values = entry.lhb.snapshot();
+    switch (config_.estimator) {
+      case Estimator::Average:
+        return averageOf(values);
+      case Estimator::Last:
+        return lastOf(values);
+      case Estimator::Stride:
+        return strideOf(values);
+    }
+    lva_panic("bad estimator %d", static_cast<int>(config_.estimator));
+}
+
+bool
+LoadValueApproximator::gateApplies(ValueKind kind) const
+{
+    if (config_.confidenceDisabled)
+        return false;
+    if (kind == ValueKind::Int64)
+        return config_.confidenceForInts;
+    return true;
+}
+
+MissResponse
+LoadValueApproximator::onMiss(LoadSiteId pc, const Value &precise)
+{
+    ++loadCount_;
+    applyDueTrainings();
+    stats_.lookups.inc();
+
+    const u64 hash = contextHash(pc, ghb_, config_.mantissaDropBits);
+    u32 slot = 0;
+    bool tag_match = false;
+    u64 tag = 0;
+    Entry &entry = lookup(hash, slot, tag_match, tag);
+
+    MissResponse resp;
+
+    if (!tag_match) {
+        // Context never seen (or aliased away): (re)allocate and train.
+        stats_.allocations.inc();
+        entry.valid = true;
+        entry.tag = tag;
+        entry.conf.reset(0);
+        entry.degree.reset();
+        entry.lhb.clear();
+        resp.approximated = false;
+        resp.fetch = true;
+        enqueueTraining(slot, tag, std::nullopt, precise);
+        return resp;
+    }
+
+    if (entry.lhb.empty()) {
+        // Matching context but no history yet (training in flight).
+        stats_.coldRejects.inc();
+        resp.approximated = false;
+        resp.fetch = true;
+        enqueueTraining(slot, tag, std::nullopt, precise);
+        return resp;
+    }
+
+    const Value xhat = estimate(entry);
+    const bool confident =
+        !gateApplies(precise.kind()) || entry.conf.value() >= 0;
+
+    if (!confident) {
+        // Fetch as a normal miss; the would-be estimate still trains
+        // confidence so the entry can recover.
+        stats_.confRejects.inc();
+        resp.approximated = false;
+        resp.fetch = true;
+        enqueueTraining(slot, tag, xhat, precise);
+        return resp;
+    }
+
+    resp.approximated = true;
+    resp.value = xhat;
+    stats_.approximations.inc();
+
+    if (entry.degree.atZero()) {
+        // Degree exhausted: fetch the block to train, then rearm.
+        resp.fetch = true;
+        entry.degree.reset();
+        enqueueTraining(slot, tag, xhat, precise);
+    } else {
+        // Reuse the approximation; the fetch is cancelled outright.
+        entry.degree.consume();
+        resp.fetch = false;
+        stats_.fetchesSkipped.inc();
+    }
+    return resp;
+}
+
+void
+LoadValueApproximator::onHit(LoadSiteId pc, const Value &precise)
+{
+    (void)pc;
+    ++loadCount_;
+    applyDueTrainings();
+    // The precise value is available at L1-hit latency: it enters the
+    // global history immediately, providing context for later misses.
+    ghb_.push(precise);
+}
+
+void
+LoadValueApproximator::enqueueTraining(u32 index, u64 tag,
+                                       const std::optional<Value> &xhat,
+                                       const Value &actual)
+{
+    PendingTrain train;
+    train.dueAtLoad = loadCount_ + config_.valueDelay;
+    train.index = index;
+    train.tag = tag;
+    train.xhat = xhat;
+    train.actual = actual;
+    pending_.push_back(train);
+}
+
+void
+LoadValueApproximator::applyDueTrainings()
+{
+    while (!pending_.empty() && pending_.front().dueAtLoad <= loadCount_) {
+        applyTraining(pending_.front());
+        pending_.pop_front();
+    }
+}
+
+void
+LoadValueApproximator::applyTraining(const PendingTrain &train)
+{
+    stats_.trainings.inc();
+
+    // X_actual always enters the global history on arrival.
+    ghb_.push(train.actual);
+
+    Entry &entry = table_[train.index];
+    if (!entry.valid || entry.tag != train.tag) {
+        // Entry was re-allocated to another context while the block was
+        // in flight; only the GHB benefits from this value.
+        stats_.staleDrops.inc();
+        return;
+    }
+
+    if (train.xhat.has_value()) {
+        const bool close = std::isinf(config_.confidenceWindow)
+                               ? true
+                               : withinWindow(*train.xhat, train.actual,
+                                              config_.confidenceWindow);
+        if (close) {
+            entry.conf.increment();
+        } else if (config_.proportionalConfidence &&
+                   config_.confidenceWindow > 0.0) {
+            // Penalize in proportion to how far outside the window
+            // the estimate landed (capped), so wildly wrong contexts
+            // shut off faster while borderline ones keep probing.
+            const double rel = relativeError(train.xhat->toReal(),
+                                             train.actual.toReal());
+            const double widths = rel / config_.confidenceWindow;
+            i32 penalty = 1;
+            if (std::isfinite(widths))
+                penalty += static_cast<i32>(std::min(widths, 3.0));
+            entry.conf.decrement(penalty);
+        } else {
+            entry.conf.decrement();
+        }
+    }
+
+    entry.lhb.push(train.actual);
+}
+
+void
+LoadValueApproximator::drainPending()
+{
+    while (!pending_.empty()) {
+        applyTraining(pending_.front());
+        pending_.pop_front();
+    }
+}
+
+u32
+LoadValueApproximator::validEntries() const
+{
+    u32 count = 0;
+    for (const auto &entry : table_)
+        if (entry.valid)
+            ++count;
+    return count;
+}
+
+} // namespace lva

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The load value approximator — the paper's primary contribution.
+ *
+ * Structure (paper Figure 3): a global history buffer of recent precise
+ * load values is hashed with the load PC to index a direct-mapped table;
+ * each entry holds a tag, a signed saturating confidence counter, a
+ * degree counter and a local history buffer. On an L1 miss the entry's
+ * LHB is reduced by a computation function f (AVERAGE by default) to
+ * produce X_approx, which the core consumes without speculation; the
+ * block is fetched only when the entry's degree counter is exhausted, and
+ * the fetched X_actual trains the entry after the configured value delay.
+ */
+
+#ifndef LVA_CORE_APPROXIMATOR_HH
+#define LVA_CORE_APPROXIMATOR_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/approximator_config.hh"
+#include "core/history_buffer.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/** What the approximator decided about one L1 load miss. */
+struct MissResponse
+{
+    /** True if X_approx was generated and consumed by the core. */
+    bool approximated = false;
+
+    /** True if the block is fetched from the next level (training). */
+    bool fetch = true;
+
+    /** The generated value; meaningful only when approximated. */
+    Value value{};
+};
+
+/** Event counts for the approximator. */
+struct ApproximatorStats
+{
+    Counter lookups;        ///< misses presented to the approximator
+    Counter approximations; ///< misses answered with X_approx
+    Counter fetchesSkipped; ///< misses whose block fetch was cancelled
+    Counter trainings;      ///< X_actual arrivals applied to the table
+    Counter allocations;    ///< table entries (re)allocated on tag miss
+    Counter confRejects;    ///< misses rejected by the confidence gate
+    Counter coldRejects;    ///< misses with a matching tag but empty LHB
+    Counter staleDrops;     ///< trainings dropped: entry re-allocated
+
+    void
+    reset()
+    {
+        lookups.reset();
+        approximations.reset();
+        fetchesSkipped.reset();
+        trainings.reset();
+        allocations.reset();
+        confRejects.reset();
+        coldRejects.reset();
+        staleDrops.reset();
+    }
+};
+
+/**
+ * Load value approximator with relaxed confidence estimation,
+ * approximation degree and value-delayed training.
+ *
+ * The approximator is oblivious to addresses: it operates on the
+ * (PC, value-history) context stream, exactly as the hardware in the
+ * paper. The caller (ApproxMemory) owns the cache and supplies precise
+ * values so that deferred training can be simulated.
+ */
+class LoadValueApproximator
+{
+  public:
+    explicit LoadValueApproximator(const ApproximatorConfig &config);
+
+    const ApproximatorConfig &config() const { return config_; }
+
+    /**
+     * Handle an L1 load miss to approximable data.
+     *
+     * @param pc     static load site (instruction address)
+     * @param precise the actual memory value; used ONLY to model the
+     *               deferred training of the table (the generation path
+     *               never inspects it)
+     * @return what the core and the memory system should do
+     */
+    MissResponse onMiss(LoadSiteId pc, const Value &precise);
+
+    /**
+     * Handle an L1 load hit to approximable data: the precise value is
+     * available immediately and enters the global history.
+     */
+    void onHit(LoadSiteId pc, const Value &precise);
+
+    /**
+     * Flush all pending (value-delayed) trainings, as at the end of a
+     * region of interest.
+     */
+    void drainPending();
+
+    const ApproximatorStats &stats() const { return stats_; }
+
+    /** Coverage: fraction of presented misses that were approximated. */
+    double
+    coverage() const
+    {
+        return stats_.lookups.value() == 0
+                   ? 0.0
+                   : static_cast<double>(stats_.approximations.value()) /
+                         static_cast<double>(stats_.lookups.value());
+    }
+
+    /** Number of table entries currently holding a valid tag (tests). */
+    u32 validEntries() const;
+
+  private:
+    struct Entry
+    {
+        Entry(const ApproximatorConfig &config)
+            : conf(SignedSatCounter::fromBits(config.confidenceBits)),
+              degree(config.approxDegree),
+              lhb(config.lhbEntries)
+        {}
+
+        bool valid = false;
+        u64 tag = 0;
+        u64 lastUse = 0; ///< LRU within a set (associative tables)
+        SignedSatCounter conf;
+        DegreeCounter degree;
+        HistoryBuffer lhb;
+    };
+
+    /**
+     * Locate (or allocate) the entry for a context hash in its
+     * (possibly multi-way) set.
+     *
+     * @param[out] slot     flat table index of the returned entry
+     * @param[out] tag_match true if the entry already held this tag
+     */
+    Entry &lookup(u64 hash, u32 &slot, bool &tag_match, u64 &tag_out);
+
+    /** An X_actual in flight from the next memory level. */
+    struct PendingTrain
+    {
+        u64 dueAtLoad;               ///< loadCount_ when the block arrives
+        u32 index;                   ///< table entry being trained
+        u64 tag;                     ///< tag at issue time
+        std::optional<Value> xhat;   ///< estimate to validate, if any
+        Value actual;                ///< X_actual from memory
+    };
+
+    /** The computation function f over an entry's LHB. */
+    Value estimate(const Entry &entry) const;
+
+    /** Does the confidence gate apply to values of this kind? */
+    bool gateApplies(ValueKind kind) const;
+
+    /** Apply all trainings whose data has arrived. */
+    void applyDueTrainings();
+
+    void applyTraining(const PendingTrain &train);
+
+    void enqueueTraining(u32 index, u64 tag,
+                         const std::optional<Value> &xhat,
+                         const Value &actual);
+
+    ApproximatorConfig config_;
+    std::vector<Entry> table_;
+    HistoryBuffer ghb_;
+    std::deque<PendingTrain> pending_;
+    u64 loadCount_ = 0;
+    u64 useClock_ = 0;
+    ApproximatorStats stats_;
+};
+
+} // namespace lva
+
+#endif // LVA_CORE_APPROXIMATOR_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Context hash h(PC, GHB) used to index the approximator table.
+ */
+
+#ifndef LVA_CORE_CONTEXT_HASH_HH
+#define LVA_CORE_CONTEXT_HASH_HH
+
+#include "core/history_buffer.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/**
+ * XOR the load's instruction address with the (optionally
+ * mantissa-truncated) bit patterns of the GHB contents, then mix so the
+ * low bits are well distributed for direct-mapped indexing.
+ *
+ * This is the paper's XOR(PC, GHB) context hash; with a zero-entry GHB
+ * it degenerates to a hash of the PC alone.
+ */
+inline u64
+contextHash(LoadSiteId pc, const HistoryBuffer &ghb, u32 mantissa_drop)
+{
+    u64 h = static_cast<u64>(pc);
+    for (u32 i = 0; i < ghb.size(); ++i)
+        h ^= ghb.newest(i).hashBits(mantissa_drop);
+    return mix64(h);
+}
+
+/** Split a context hash into a table index and a tag. */
+struct HashSplit
+{
+    u32 index;
+    u64 tag;
+};
+
+inline HashSplit
+splitHash(u64 hash, u32 table_entries, u32 tag_bits)
+{
+    HashSplit out;
+    out.index = static_cast<u32>(hash % table_entries);
+    const u64 tag_mask =
+        tag_bits >= 64 ? ~u64(0) : ((u64(1) << tag_bits) - 1);
+    out.tag = (hash / table_entries) & tag_mask;
+    return out;
+}
+
+} // namespace lva
+
+#endif // LVA_CORE_CONTEXT_HASH_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-capacity FIFO history buffer used for both the global history
+ * buffer (GHB) and the per-entry local history buffers (LHB).
+ */
+
+#ifndef LVA_CORE_HISTORY_BUFFER_HH
+#define LVA_CORE_HISTORY_BUFFER_HH
+
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/**
+ * Ring buffer holding the most recent N values, oldest first when
+ * iterated via snapshot().
+ *
+ * A capacity of zero is legal (the baseline GHB has zero entries) and
+ * makes push() a no-op.
+ */
+class HistoryBuffer
+{
+  public:
+    explicit HistoryBuffer(u32 capacity)
+        : capacity_(capacity), storage_(capacity)
+    {}
+
+    u32 capacity() const { return capacity_; }
+    u32 size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+
+    /** Append @p v, discarding the oldest value when full. */
+    void
+    push(const Value &v)
+    {
+        if (capacity_ == 0)
+            return;
+        storage_[head_] = v;
+        head_ = (head_ + 1) % capacity_;
+        if (size_ < capacity_)
+            ++size_;
+    }
+
+    /** Oldest-to-newest copy of the contents. */
+    std::vector<Value>
+    snapshot() const
+    {
+        std::vector<Value> out;
+        out.reserve(size_);
+        const u32 start = (head_ + capacity_ - size_) % (capacity_ ? capacity_ : 1);
+        for (u32 i = 0; i < size_; ++i)
+            out.push_back(storage_[(start + i) % capacity_]);
+        return out;
+    }
+
+    /** i-th newest value (0 = most recent). */
+    const Value &
+    newest(u32 i = 0) const
+    {
+        lva_assert(i < size_, "history index %u out of %u", i, size_);
+        const u32 idx = (head_ + capacity_ - 1 - i) % capacity_;
+        return storage_[idx];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    u32 capacity_;
+    std::vector<Value> storage_;
+    u32 head_ = 0;
+    u32 size_ = 0;
+};
+
+} // namespace lva
+
+#endif // LVA_CORE_HISTORY_BUFFER_HH

@@ -1,0 +1,100 @@
+#include "core/lvp.hh"
+
+#include "core/context_hash.hh"
+#include "util/logging.hh"
+
+namespace lva {
+
+IdealizedLvp::IdealizedLvp(const ApproximatorConfig &config)
+    : config_(config), ghb_(config.ghbEntries)
+{
+    lva_assert(config.tableEntries > 0, "table must have entries");
+    table_.reserve(config.tableEntries);
+    for (u32 i = 0; i < config.tableEntries; ++i)
+        table_.emplace_back(config);
+}
+
+bool
+IdealizedLvp::onMiss(LoadSiteId pc, const Value &precise)
+{
+    ++loadCount_;
+    applyDueTrainings();
+    stats_.lookups.inc();
+
+    const u64 hash = contextHash(pc, ghb_, config_.mantissaDropBits);
+    const HashSplit split =
+        splitHash(hash, config_.tableEntries, config_.tagBits);
+    Entry &entry = table_[split.index];
+
+    bool predicted_correctly = false;
+
+    if (!entry.valid || entry.tag != split.tag) {
+        entry.valid = true;
+        entry.tag = split.tag;
+        entry.lhb.clear();
+        stats_.cold.inc();
+    } else if (entry.lhb.empty()) {
+        stats_.cold.inc();
+    } else {
+        // Perfect selection: correct iff any LHB value matches exactly.
+        for (const Value &v : entry.lhb.snapshot()) {
+            if (v.exactlyEquals(precise)) {
+                predicted_correctly = true;
+                break;
+            }
+        }
+        if (predicted_correctly)
+            stats_.correct.inc();
+        else
+            stats_.incorrect.inc();
+    }
+
+    // LVP always fetches: validation requires the actual data.
+    PendingTrain train;
+    train.dueAtLoad = loadCount_ + config_.valueDelay;
+    train.index = split.index;
+    train.tag = split.tag;
+    train.actual = precise;
+    pending_.push_back(train);
+
+    return predicted_correctly;
+}
+
+void
+IdealizedLvp::onHit(LoadSiteId pc, const Value &precise)
+{
+    (void)pc;
+    ++loadCount_;
+    applyDueTrainings();
+    ghb_.push(precise);
+}
+
+void
+IdealizedLvp::applyDueTrainings()
+{
+    while (!pending_.empty() && pending_.front().dueAtLoad <= loadCount_) {
+        const PendingTrain &train = pending_.front();
+        stats_.trainings.inc();
+        ghb_.push(train.actual);
+        Entry &entry = table_[train.index];
+        if (entry.valid && entry.tag == train.tag)
+            entry.lhb.push(train.actual);
+        pending_.pop_front();
+    }
+}
+
+void
+IdealizedLvp::drainPending()
+{
+    while (!pending_.empty()) {
+        const PendingTrain &train = pending_.front();
+        stats_.trainings.inc();
+        ghb_.push(train.actual);
+        Entry &entry = table_[train.index];
+        if (entry.valid && entry.tag == train.tag)
+            entry.lhb.push(train.actual);
+        pending_.pop_front();
+    }
+}
+
+} // namespace lva

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Idealized load value predictor baseline.
+ *
+ * Matches the paper's comparison point (section VI): the same table /
+ * GHB / LHB structure as the approximator, but a prediction counts as
+ * correct iff ANY value in the LHB equals the precise value bit-exactly
+ * (a perfect selection mechanism — an upper bound on real LVP designs).
+ * LVP must always fetch the block to validate, so its fetch:miss ratio
+ * is pinned at 1:1, and mispredictions roll back, so application output
+ * is always precise.
+ */
+
+#ifndef LVA_CORE_LVP_HH
+#define LVA_CORE_LVP_HH
+
+#include <deque>
+#include <vector>
+
+#include "core/approximator_config.hh"
+#include "core/history_buffer.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/** Event counts for the idealized predictor. */
+struct LvpStats
+{
+    Counter lookups;     ///< misses presented
+    Counter correct;     ///< oracle-correct predictions (hide the miss)
+    Counter incorrect;   ///< mispredictions (rollback; full miss cost)
+    Counter cold;        ///< no usable history (no prediction made)
+    Counter trainings;
+
+    void
+    reset()
+    {
+        lookups.reset();
+        correct.reset();
+        incorrect.reset();
+        cold.reset();
+        trainings.reset();
+    }
+};
+
+/**
+ * Idealized LVP with the same geometry knobs as the approximator
+ * (table entries, tag bits, GHB size, LHB size, value delay).
+ */
+class IdealizedLvp
+{
+  public:
+    explicit IdealizedLvp(const ApproximatorConfig &config);
+
+    /**
+     * Handle an L1 load miss.
+     * @return true iff the oracle predicts correctly (the miss latency
+     *         is hidden; with rollback-based LVP an incorrect prediction
+     *         costs at least the full miss).
+     */
+    bool onMiss(LoadSiteId pc, const Value &precise);
+
+    /** L1 hit: precise value enters the global history. */
+    void onHit(LoadSiteId pc, const Value &precise);
+
+    void drainPending();
+
+    const LvpStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        explicit Entry(const ApproximatorConfig &config)
+            : lhb(config.lhbEntries)
+        {}
+
+        bool valid = false;
+        u64 tag = 0;
+        HistoryBuffer lhb;
+    };
+
+    struct PendingTrain
+    {
+        u64 dueAtLoad;
+        u32 index;
+        u64 tag;
+        Value actual;
+    };
+
+    void applyDueTrainings();
+
+    ApproximatorConfig config_;
+    std::vector<Entry> table_;
+    HistoryBuffer ghb_;
+    std::deque<PendingTrain> pending_;
+    u64 loadCount_ = 0;
+    LvpStats stats_;
+};
+
+} // namespace lva
+
+#endif // LVA_CORE_LVP_HH

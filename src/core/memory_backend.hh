@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The interface through which workloads issue simulated memory traffic.
+ *
+ * Workload kernels keep their data in host containers but report every
+ * modelled access here, tagged with a logical thread, a static load site
+ * (the PC) and, for approximable loads, the precise value. The backend
+ * may return a different (approximated) value, which the kernel must
+ * consume — exactly what the paper's Pin tool does when it clobbers load
+ * return values.
+ */
+
+#ifndef LVA_CORE_MEMORY_BACKEND_HH
+#define LVA_CORE_MEMORY_BACKEND_HH
+
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/**
+ * Abstract memory-system backend.
+ *
+ * Implementations: ApproxMemory (phase-1 functional simulation with
+ * per-thread private L1 caches and approximators), TraceRecorder
+ * (phase-2 trace capture for the full-system timing model).
+ */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /**
+     * A load instruction.
+     *
+     * @param tid         issuing logical thread
+     * @param pc          static load site
+     * @param addr        virtual address accessed
+     * @param precise     the value stored at @p addr in this run
+     * @param approximable whether the programmer annotated this load
+     * @param dependent   true when this load's address depends on the
+     *                    value of the immediately preceding load on
+     *                    this thread (pointer chasing); the timing
+     *                    model serializes such pairs, which is exactly
+     *                    the latency LVA hides when the producer is
+     *                    approximated
+     * @return the value the core receives (possibly approximated)
+     */
+    virtual Value load(ThreadId tid, LoadSiteId pc, Addr addr,
+                       const Value &precise, bool approximable,
+                       bool dependent = false) = 0;
+
+    /**
+     * A load of non-annotated data whose value the model never needs
+     * (cache-traffic accounting only).
+     */
+    void
+    touchLoad(ThreadId tid, LoadSiteId pc, Addr addr)
+    {
+        load(tid, pc, addr, Value::fromInt(0), false);
+    }
+
+    /** A store instruction (write-allocate; value not modelled). */
+    virtual void store(ThreadId tid, LoadSiteId pc, Addr addr) = 0;
+
+    /** Account @p n non-memory instructions on thread @p tid. */
+    virtual void tickInstructions(ThreadId tid, u64 n) = 0;
+
+    /** End-of-run hook (drain value-delayed trainings, etc.). */
+    virtual void finish() {}
+};
+
+/**
+ * Backend that models nothing: loads return the precise value and no
+ * statistics are kept. Used to execute reference (golden) runs at full
+ * host speed.
+ */
+class NullBackend : public MemoryBackend
+{
+  public:
+    Value
+    load(ThreadId, LoadSiteId, Addr, const Value &precise, bool,
+         bool) override
+    {
+        return precise;
+    }
+
+    void store(ThreadId, LoadSiteId, Addr) override {}
+    void tickInstructions(ThreadId, u64) override {}
+};
+
+} // namespace lva
+
+#endif // LVA_CORE_MEMORY_BACKEND_HH

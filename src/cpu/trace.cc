@@ -1,0 +1,74 @@
+#include "cpu/trace.hh"
+
+#include "util/logging.hh"
+
+namespace lva {
+
+TraceRecorder::TraceRecorder(u32 threads)
+    : traces_(threads), pendingInstr_(threads, 0)
+{
+    lva_assert(threads > 0, "need at least one thread");
+}
+
+Value
+TraceRecorder::load(ThreadId tid, LoadSiteId pc, Addr addr,
+                    const Value &precise, bool approximable,
+                    bool dependent)
+{
+    lva_assert(tid < traces_.size(), "thread %u out of range", tid);
+    TraceEvent ev;
+    ev.addr = addr;
+    ev.value = precise;
+    ev.pc = pc;
+    ev.instrBefore = pendingInstr_[tid];
+    ev.isLoad = true;
+    ev.approximable = approximable;
+    ev.dependsOnPrev = dependent;
+    traces_[tid].push_back(ev);
+    pendingInstr_[tid] = 0;
+    return precise;
+}
+
+void
+TraceRecorder::store(ThreadId tid, LoadSiteId pc, Addr addr)
+{
+    lva_assert(tid < traces_.size(), "thread %u out of range", tid);
+    TraceEvent ev;
+    ev.addr = addr;
+    ev.pc = pc;
+    ev.instrBefore = pendingInstr_[tid];
+    ev.isLoad = false;
+    ev.approximable = false;
+    traces_[tid].push_back(ev);
+    pendingInstr_[tid] = 0;
+}
+
+void
+TraceRecorder::tickInstructions(ThreadId tid, u64 n)
+{
+    lva_assert(tid < traces_.size(), "thread %u out of range", tid);
+    pendingInstr_[tid] += static_cast<u32>(n);
+}
+
+u64
+TraceRecorder::totalEvents() const
+{
+    u64 total = 0;
+    for (const auto &trace : traces_)
+        total += trace.size();
+    return total;
+}
+
+u64
+TraceRecorder::totalInstructions() const
+{
+    u64 total = 0;
+    for (const auto &trace : traces_) {
+        total += trace.size(); // each access is one instruction
+        for (const auto &ev : trace)
+            total += ev.instrBefore;
+    }
+    return total;
+}
+
+} // namespace lva

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory-access trace capture for the full-system timing phase.
+ *
+ * The paper's phase-2 evaluation replays the same program under precise
+ * execution and under LVA with varying approximation degree. We record
+ * the access stream of a precise functional run (addresses, PCs,
+ * precise values, annotation flags, interleaved instruction counts) and
+ * replay it through the timing model. Table I shows instruction-count
+ * variation under LVA is at most ~2.4%, so trace-driven replay is a
+ * faithful substitute for execution-driven timing.
+ */
+
+#ifndef LVA_CPU_TRACE_HH
+#define LVA_CPU_TRACE_HH
+
+#include <vector>
+
+#include "core/memory_backend.hh"
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/** One memory access in a per-thread trace. */
+struct TraceEvent
+{
+    Addr addr = 0;
+    Value value{};        ///< precise value (drives the approximator)
+    LoadSiteId pc = 0;
+    u32 instrBefore = 0;  ///< non-memory instructions since last event
+    bool isLoad = true;
+    bool approximable = false;
+    bool dependsOnPrev = false; ///< address produced by previous load
+};
+
+/** The access stream of one logical thread / core. */
+using ThreadTrace = std::vector<TraceEvent>;
+
+/**
+ * MemoryBackend that records per-thread traces while returning precise
+ * values (i.e. the recorded run is the precise execution).
+ */
+class TraceRecorder : public MemoryBackend
+{
+  public:
+    explicit TraceRecorder(u32 threads = 4);
+
+    Value load(ThreadId tid, LoadSiteId pc, Addr addr,
+               const Value &precise, bool approximable,
+               bool dependent = false) override;
+    void store(ThreadId tid, LoadSiteId pc, Addr addr) override;
+    void tickInstructions(ThreadId tid, u64 n) override;
+
+    const std::vector<ThreadTrace> &traces() const { return traces_; }
+    u32 threads() const { return static_cast<u32>(traces_.size()); }
+
+    /** Total events recorded across all threads. */
+    u64 totalEvents() const;
+
+    /** Total instructions (memory + non-memory) across all threads. */
+    u64 totalInstructions() const;
+
+  private:
+    std::vector<ThreadTrace> traces_;
+    std::vector<u32> pendingInstr_;
+};
+
+} // namespace lva
+
+#endif // LVA_CPU_TRACE_HH

@@ -1,0 +1,23 @@
+#include "energy/energy_model.hh"
+
+namespace lva {
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &events, const EnergyParams &params)
+{
+    EnergyBreakdown out;
+    out.l1 = params.l1Access * static_cast<double>(events.l1Accesses);
+    out.l2 = params.l2Access * static_cast<double>(events.l2Accesses);
+    out.dram =
+        params.dramAccess * static_cast<double>(events.dramAccesses);
+    out.noc =
+        params.nocFlitHop * static_cast<double>(events.nocFlitHops) +
+        params.nocFlitHopSlow *
+            static_cast<double>(events.nocFlitHopsSlow);
+    out.approximator =
+        params.approxLookup * static_cast<double>(events.approxLookups) +
+        params.approxTrain * static_cast<double>(events.approxTrains);
+    return out;
+}
+
+} // namespace lva

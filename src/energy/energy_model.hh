@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dynamic-energy model of the memory hierarchy (the CACTI substitute).
+ *
+ * Per-access energies are representative 32 nm values in nanojoules,
+ * in CACTI 5.1's range for the Table II geometries. The paper's energy
+ * results are relative (savings versus precise execution), which
+ * depend on the event-count ratios rather than the absolute constants;
+ * any self-consistent constant set reproduces them. Approximator table
+ * lookups and trainings are charged, so the overhead of LVA itself is
+ * factored in (paper section V-B).
+ */
+
+#ifndef LVA_ENERGY_ENERGY_MODEL_HH
+#define LVA_ENERGY_ENERGY_MODEL_HH
+
+#include "util/types.hh"
+
+namespace lva {
+
+/** Per-event dynamic energies in nanojoules (32 nm). */
+struct EnergyParams
+{
+    double l1Access = 0.020;     ///< 16 KB 8-way read/write
+    double l2Access = 0.095;     ///< 128 KB bank access
+    double dramAccess = 3.5;     ///< 64 B DRAM transfer
+    double nocFlitHop = 0.012;   ///< one flit across one link+router
+    /** Flit-hop on the slow, low-voltage NoC plane that carries
+     *  deprioritized training fetches (paper section VI-C). */
+    double nocFlitHopSlow = 0.005;
+    double approxLookup = 0.006; ///< approximator table read
+    double approxTrain = 0.007;  ///< approximator table update
+};
+
+/** Event counts accumulated during a timing replay. */
+struct EnergyEvents
+{
+    u64 l1Accesses = 0;
+    u64 l2Accesses = 0;
+    u64 dramAccesses = 0;
+    u64 nocFlitHops = 0;
+    u64 nocFlitHopsSlow = 0; ///< on the heterogeneous (slow) plane
+    u64 approxLookups = 0;
+    u64 approxTrains = 0;
+};
+
+/** Energy breakdown in nanojoules. */
+struct EnergyBreakdown
+{
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double noc = 0.0;
+    double approximator = 0.0;
+
+    double
+    total() const
+    {
+        return l1 + l2 + dram + noc + approximator;
+    }
+
+    /** Energy beyond the L1 — the cost of servicing L1 misses. */
+    double
+    missServicing() const
+    {
+        return l2 + dram + noc;
+    }
+};
+
+/** Fold event counts into a breakdown. */
+EnergyBreakdown computeEnergy(const EnergyEvents &events,
+                              const EnergyParams &params = {});
+
+} // namespace lva
+
+#endif // LVA_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,173 @@
+#include "eval/evaluator.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+u32
+seedsFromEnv()
+{
+    if (const char *env = std::getenv("LVA_SEEDS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 64)
+            return static_cast<u32>(v);
+        lva_warn("ignoring bad LVA_SEEDS='%s'", env);
+    }
+    return 5; // paper: all measurements averaged from 5 runs
+}
+
+double
+scaleFromEnv()
+{
+    if (const char *env = std::getenv("LVA_SCALE")) {
+        const double v = std::strtod(env, nullptr);
+        if (v > 0.0 && v <= 4.0)
+            return v;
+        lva_warn("ignoring bad LVA_SCALE='%s'", env);
+    }
+    return 1.0;
+}
+
+} // namespace
+
+Evaluator::Evaluator(u32 seeds, double scale)
+    : seeds_(seeds ? seeds : seedsFromEnv()),
+      scale_(scale > 0.0 ? scale : scaleFromEnv())
+{
+}
+
+ApproxMemory::Config
+Evaluator::baselineLva()
+{
+    ApproxMemory::Config cfg;
+    cfg.mode = MemMode::Lva;
+    cfg.cache = CacheConfig::pinL1();
+    cfg.approx = ApproximatorConfig::baseline();
+    return cfg;
+}
+
+ApproxMemory::Config
+Evaluator::preciseConfig()
+{
+    ApproxMemory::Config cfg;
+    cfg.mode = MemMode::Precise;
+    cfg.cache = CacheConfig::pinL1();
+    return cfg;
+}
+
+const Evaluator::Golden &
+Evaluator::golden(const std::string &name, u64 seed)
+{
+    const auto key = std::make_pair(name, seed);
+    auto it = goldens_.find(key);
+    if (it != goldens_.end())
+        return it->second;
+
+    WorkloadParams params;
+    params.seed = seed;
+    params.scale = scale_;
+
+    Golden g;
+    g.workload = makeWorkload(name, params);
+    g.workload->generate();
+    ApproxMemory mem(preciseConfig());
+    g.workload->run(mem);
+    g.metrics = mem.metrics();
+
+    return goldens_.emplace(key, std::move(g)).first->second;
+}
+
+EvalResult
+Evaluator::evaluate(const std::string &name,
+                    const ApproxMemory::Config &cfg)
+{
+    EvalResult avg;
+    double sum_precise_mpki = 0.0, sum_mpki = 0.0;
+    double sum_norm_mpki = 0.0;
+    double sum_precise_fetches = 0.0, sum_fetches = 0.0;
+    double sum_norm_fetches = 0.0;
+    double sum_error = 0.0, sum_coverage = 0.0, sum_var = 0.0;
+    double sum_instr = 0.0;
+
+    for (u32 s = 0; s < seeds_; ++s) {
+        const u64 seed = 1 + s;
+        const Golden &base = golden(name, seed);
+
+        WorkloadParams params;
+        params.seed = seed;
+        params.scale = scale_;
+
+        auto w = makeWorkload(name, params);
+        w->generate();
+        ApproxMemory mem(cfg);
+        w->run(mem);
+        const MemMetrics m = mem.metrics();
+
+        const double base_mpki = base.metrics.mpki();
+        const double base_fetches =
+            static_cast<double>(base.metrics.fetches);
+        const double my_mpki = m.mpki();
+        const double my_fetches = static_cast<double>(m.fetches);
+
+        sum_precise_mpki += base_mpki;
+        sum_mpki += my_mpki;
+        // Guard benchmarks with vanishing baseline MPKI (swaptions).
+        sum_norm_mpki +=
+            base_mpki > 1e-9 ? my_mpki / base_mpki : 1.0;
+        sum_precise_fetches += base_fetches;
+        sum_fetches += my_fetches;
+        sum_norm_fetches +=
+            base_fetches > 0.5 ? my_fetches / base_fetches : 1.0;
+        sum_error += w->outputErrorVs(*base.workload);
+        sum_coverage += m.coverage();
+        const double base_instr =
+            static_cast<double>(base.metrics.instructions);
+        sum_var += base_instr > 0.0
+                       ? std::fabs(static_cast<double>(m.instructions) -
+                                   base_instr) / base_instr
+                       : 0.0;
+        sum_instr += static_cast<double>(m.instructions);
+    }
+
+    const double n = static_cast<double>(seeds_);
+    avg.preciseMpki = sum_precise_mpki / n;
+    avg.mpki = sum_mpki / n;
+    avg.normMpki = sum_norm_mpki / n;
+    avg.preciseFetches = sum_precise_fetches / n;
+    avg.fetches = sum_fetches / n;
+    avg.normFetches = sum_norm_fetches / n;
+    avg.outputError = sum_error / n;
+    avg.coverage = sum_coverage / n;
+    avg.instrVariation = sum_var / n;
+    avg.instructions = sum_instr / n;
+    return avg;
+}
+
+EvalResult
+Evaluator::evaluatePrecise(const std::string &name)
+{
+    EvalResult avg;
+    double sum_mpki = 0.0;
+    double sum_instr = 0.0;
+    double sum_fetches = 0.0;
+    for (u32 s = 0; s < seeds_; ++s) {
+        const Golden &base = golden(name, 1 + s);
+        sum_mpki += base.metrics.mpki();
+        sum_instr += static_cast<double>(base.metrics.instructions);
+        sum_fetches += static_cast<double>(base.metrics.fetches);
+    }
+    const double n = static_cast<double>(seeds_);
+    avg.preciseMpki = avg.mpki = sum_mpki / n;
+    avg.preciseFetches = avg.fetches = sum_fetches / n;
+    avg.instructions = sum_instr / n;
+    avg.normMpki = 1.0;
+    avg.normFetches = 1.0;
+    return avg;
+}
+
+} // namespace lva

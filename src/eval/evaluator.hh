@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Design-space-exploration driver (the paper's phase-1 methodology):
+ * runs each workload precisely and under a given memory configuration,
+ * averages over several seeds, and reports normalized MPKI, normalized
+ * fetches, coverage and application output error.
+ */
+
+#ifndef LVA_EVAL_EVALUATOR_HH
+#define LVA_EVAL_EVALUATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/approx_memory.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+/** Seed-averaged results of one (workload, configuration) evaluation. */
+struct EvalResult
+{
+    double preciseMpki = 0.0;   ///< baseline effective MPKI
+    double mpki = 0.0;          ///< configured effective MPKI
+    double normMpki = 1.0;      ///< mpki / preciseMpki
+    double preciseFetches = 0.0;///< baseline L1 block fills
+    double fetches = 0.0;
+    double normFetches = 1.0;   ///< fetches / preciseFetches
+    double outputError = 0.0;   ///< application metric (section IV)
+    double coverage = 0.0;      ///< approximated / approximable loads
+    double instrVariation = 0.0;///< |instr - instr_precise| / precise
+    double instructions = 0.0;  ///< dynamic instructions (configured run)
+};
+
+/**
+ * Runs and caches evaluations.
+ *
+ * Golden (precise) runs are memoized per (workload, seed): every sweep
+ * point reuses the same baseline for normalization and for the output
+ * error comparison, exactly as the paper normalizes each benchmark to
+ * its own precise execution.
+ */
+class Evaluator
+{
+  public:
+    /**
+     * @param seeds number of simulation runs averaged (paper: 5)
+     * @param scale workload working-set scale (1.0 = full size)
+     *
+     * Both default from the environment (LVA_SEEDS, LVA_SCALE) when
+     * the arguments are zero, enabling quick smoke runs.
+     */
+    explicit Evaluator(u32 seeds = 0, double scale = 0.0);
+
+    u32 seeds() const { return seeds_; }
+    double scale() const { return scale_; }
+
+    /** Evaluate @p workload under @p cfg, averaged over seeds. */
+    EvalResult evaluate(const std::string &workload,
+                        const ApproxMemory::Config &cfg);
+
+    /** Baseline (precise) metrics for one workload (Table I). */
+    EvalResult evaluatePrecise(const std::string &workload);
+
+    /** The paper's baseline LVA configuration as an ApproxMemory config. */
+    static ApproxMemory::Config baselineLva();
+
+    /** A precise (no-mechanism) configuration. */
+    static ApproxMemory::Config preciseConfig();
+
+  private:
+    struct Golden
+    {
+        std::unique_ptr<Workload> workload; ///< completed precise run
+        MemMetrics metrics;
+    };
+
+    const Golden &golden(const std::string &workload, u64 seed);
+
+    u32 seeds_;
+    double scale_;
+    std::map<std::pair<std::string, u64>, Golden> goldens_;
+};
+
+} // namespace lva
+
+#endif // LVA_EVAL_EVALUATOR_HH

@@ -1,0 +1,52 @@
+#include "eval/fullsystem_eval.hh"
+
+#include <cstdlib>
+
+#include "cpu/trace.hh"
+#include "util/logging.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+double
+fsScaleFromEnv()
+{
+    if (const char *env = std::getenv("LVA_SCALE")) {
+        const double v = std::strtod(env, nullptr);
+        if (v > 0.0 && v <= 4.0)
+            return v;
+    }
+    return 1.0;
+}
+
+FsSweep
+runFullSystemSweep(const std::string &workload,
+                   const std::vector<u32> &degrees, u64 seed,
+                   double scale)
+{
+    WorkloadParams params;
+    params.seed = seed;
+    params.scale = scale > 0.0 ? scale : fsScaleFromEnv();
+
+    // Record the precise execution once.
+    auto w = makeWorkload(workload, params);
+    w->generate();
+    TraceRecorder recorder(params.threads);
+    w->run(recorder);
+
+    FsSweep sweep;
+    sweep.workload = workload;
+    sweep.degrees = degrees;
+
+    {
+        FullSystemSim sim(FullSystemConfig::baseline());
+        sweep.baseline = sim.run(recorder.traces());
+    }
+    for (u32 d : degrees) {
+        FullSystemSim sim(FullSystemConfig::lva(d));
+        sweep.lva.push_back(sim.run(recorder.traces()));
+    }
+    return sweep;
+}
+
+} // namespace lva

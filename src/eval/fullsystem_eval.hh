@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Full-system sweep driver (the paper's phase-2 methodology): records
+ * a trace of each workload's precise execution and replays it through
+ * the Table II timing model, precise versus LVA at several
+ * approximation degrees.
+ */
+
+#ifndef LVA_EVAL_FULLSYSTEM_EVAL_HH
+#define LVA_EVAL_FULLSYSTEM_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/full_system.hh"
+
+namespace lva {
+
+/** Results of one workload's full-system sweep. */
+struct FsSweep
+{
+    std::string workload;
+    FullSystemResult baseline;           ///< precise replay
+    std::vector<u32> degrees;
+    std::vector<FullSystemResult> lva;   ///< one per degree
+
+    /** Speedup of the degree-i LVA system over precise. */
+    double
+    speedup(std::size_t i) const
+    {
+        return baseline.cycles / lva[i].cycles - 1.0;
+    }
+
+    /** Memory-hierarchy dynamic-energy savings of the degree-i run. */
+    double
+    energySavings(std::size_t i) const
+    {
+        return 1.0 - lva[i].energy.total() / baseline.energy.total();
+    }
+
+    /** Normalized L1-miss energy-delay product (paper Figure 11). */
+    double
+    normMissEdp(std::size_t i) const
+    {
+        return lva[i].missEdp() / baseline.missEdp();
+    }
+
+    /** Reduction in average L1 miss latency. */
+    double
+    missLatencyReduction(std::size_t i) const
+    {
+        return 1.0 -
+               lva[i].avgL1MissLatency / baseline.avgL1MissLatency;
+    }
+
+    /** Reduction in interconnect traffic (flit-hops). */
+    double
+    trafficReduction(std::size_t i) const
+    {
+        return 1.0 - static_cast<double>(lva[i].flitHops) /
+                         static_cast<double>(baseline.flitHops);
+    }
+};
+
+/**
+ * Record @p workload's trace (precise run, given seed/scale) and
+ * replay it under the baseline and under LVA at each degree.
+ */
+FsSweep runFullSystemSweep(const std::string &workload,
+                           const std::vector<u32> &degrees,
+                           u64 seed = 1, double scale = 0.0);
+
+/** Scale from LVA_SCALE (1.0 default), as in the phase-1 evaluator. */
+double fsScaleFromEnv();
+
+} // namespace lva
+
+#endif // LVA_EVAL_FULLSYSTEM_EVAL_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Builders that flatten every component's counters into a StatDump —
+ * the library's equivalent of gem5's stats.txt.
+ */
+
+#ifndef LVA_EVAL_STAT_REPORT_HH
+#define LVA_EVAL_STAT_REPORT_HH
+
+#include <string>
+
+#include "core/approx_memory.hh"
+#include "sim/full_system.hh"
+#include "util/stat_dump.hh"
+
+namespace lva {
+
+/** Append one cache's counters under @p prefix. */
+void appendCacheStats(StatDump &dump, const std::string &prefix,
+                      const CacheStats &stats);
+
+/** Append one approximator's counters under @p prefix. */
+void appendApproximatorStats(StatDump &dump, const std::string &prefix,
+                             const ApproximatorStats &stats);
+
+/** Append a phase-1 run's aggregate metrics under @p prefix. */
+void appendMemMetrics(StatDump &dump, const std::string &prefix,
+                      const MemMetrics &metrics);
+
+/**
+ * Full phase-1 report: aggregate metrics plus per-thread cache and
+ * mechanism breakdowns.
+ */
+StatDump reportApproxMemory(const ApproxMemory &mem,
+                            const std::string &prefix = "phase1");
+
+/** Full phase-2 report for one timing replay. */
+StatDump reportFullSystem(const FullSystemResult &result,
+                          const std::string &prefix = "system");
+
+} // namespace lva
+
+#endif // LVA_EVAL_STAT_REPORT_HH

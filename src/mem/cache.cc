@@ -1,0 +1,143 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    lva_assert(config.blockBytes > 0 &&
+               std::has_single_bit(config.blockBytes),
+               "block size %u not a power of two", config.blockBytes);
+    lva_assert(config.assoc > 0, "associativity must be positive");
+    const u64 sets = config.numSets();
+    lva_assert(sets > 0 && std::has_single_bit(sets),
+               "set count %llu not a power of two",
+               static_cast<unsigned long long>(sets));
+
+    blockMask_ = config.blockBytes - 1;
+    setShift_ = std::countr_zero(static_cast<u64>(config.blockBytes));
+    setMask_ = sets - 1;
+    sets_.resize(sets);
+    for (auto &set : sets_)
+        set.ways.resize(config.assoc);
+}
+
+Cache::Set &
+Cache::setFor(Addr addr)
+{
+    return sets_[(addr >> setShift_) & setMask_];
+}
+
+const Cache::Set &
+Cache::setFor(Addr addr) const
+{
+    return sets_[(addr >> setShift_) & setMask_];
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = blockAlign(addr);
+    for (const auto &way : setFor(addr).ways)
+        if (way.tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::access(Addr addr, bool is_write)
+{
+    const Addr tag = blockAlign(addr);
+    for (auto &way : setFor(addr).ways) {
+        if (way.tag == tag) {
+            way.lastUse = ++useClock_;
+            way.dirty = way.dirty || is_write;
+            stats_.hits.inc();
+            return true;
+        }
+    }
+    stats_.misses.inc();
+    return false;
+}
+
+Addr
+Cache::insert(Addr addr, bool is_write)
+{
+    const Addr tag = blockAlign(addr);
+    Set &set = setFor(addr);
+
+    for (auto &way : set.ways) {
+        if (way.tag == tag) {
+            // Already resident: refresh recency only.
+            way.lastUse = ++useClock_;
+            way.dirty = way.dirty || is_write;
+            return invalidAddr;
+        }
+    }
+
+    // Victim: first empty way, otherwise the least recently used.
+    Way *victim = nullptr;
+    for (auto &way : set.ways) {
+        if (way.tag == invalidAddr) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    lva_assert(victim != nullptr, "set has no ways");
+
+    stats_.fetches.inc();
+    Addr evicted = invalidAddr;
+    if (victim->tag != invalidAddr) {
+        evicted = victim->tag;
+        stats_.evictions.inc();
+        if (victim->dirty)
+            stats_.writebacks.inc();
+    }
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    victim->dirty = is_write;
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = blockAlign(addr);
+    for (auto &way : setFor(addr).ways) {
+        if (way.tag == tag) {
+            if (way.dirty)
+                stats_.writebacks.inc();
+            way.tag = invalidAddr;
+            way.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets_)
+        for (auto &way : set.ways)
+            way = Way{};
+    useClock_ = 0;
+}
+
+u64
+Cache::residentBlocks() const
+{
+    u64 count = 0;
+    for (const auto &set : sets_)
+        for (const auto &way : set.ways)
+            if (way.tag != invalidAddr)
+                ++count;
+    return count;
+}
+
+} // namespace lva

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Set-associative cache tag model with true-LRU replacement.
+ *
+ * The cache tracks block residency only; data values live in the workload's
+ * host containers. This mirrors the Pin-based phase-1 methodology, where the
+ * cache simulator decides hit/miss and the tool clobbers load values.
+ *
+ * Fetch policy is deliberately external: load value approximation decouples
+ * fetches from misses (paper section III-C), so the caller decides whether a
+ * missing block is actually brought in (insert()) or skipped.
+ */
+
+#ifndef LVA_MEM_CACHE_HH
+#define LVA_MEM_CACHE_HH
+
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    u64 sizeBytes = 64 * 1024; ///< total capacity
+    u32 assoc = 8;             ///< ways per set
+    u32 blockBytes = 64;       ///< block (line) size
+
+    u64 numSets() const { return sizeBytes / (u64(assoc) * blockBytes); }
+
+    /** 64 KB 8-way, the phase-1 (Pin) private L1 D-cache. */
+    static CacheConfig pinL1() { return {64 * 1024, 8, 64}; }
+
+    /** 16 KB 8-way, the phase-2 (full-system) private L1 D-cache. */
+    static CacheConfig fullSystemL1() { return {16 * 1024, 8, 64}; }
+};
+
+/** Event counts for one cache instance. */
+struct CacheStats
+{
+    Counter hits;      ///< accesses that found the block resident
+    Counter misses;    ///< accesses that did not
+    Counter fetches;   ///< blocks actually brought in (insert())
+    Counter evictions; ///< blocks displaced by fetches
+    Counter writebacks;///< dirty blocks displaced or invalidated
+
+    void
+    reset()
+    {
+        hits.reset();
+        misses.reset();
+        fetches.reset();
+        evictions.reset();
+        writebacks.reset();
+    }
+};
+
+/**
+ * A single cache: tag array + LRU state + statistics.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Block-aligned address of @p addr. */
+    Addr blockAlign(Addr addr) const { return addr & ~blockMask_; }
+
+    /** Is the block containing @p addr resident? Does not touch LRU. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Demand access: updates hit/miss statistics and, on a hit, the LRU
+     * ordering (and the dirty bit when @p is_write).
+     *
+     * @return true on hit. A miss does NOT fetch the block; call insert()
+     *         if the block should be brought in.
+     */
+    bool access(Addr addr, bool is_write = false);
+
+    /**
+     * Bring the block containing @p addr into the cache, evicting the LRU
+     * block of the set if needed. Counts one fetch. Inserting a block
+     * already present refreshes its LRU position without re-fetching.
+     *
+     * @param is_write mark the newly inserted block dirty
+     * @return address of the evicted block, or invalidAddr if none
+     */
+    Addr insert(Addr addr, bool is_write = false);
+
+    /**
+     * Probe for a hit without updating any statistics (used by
+     * prefetchers to filter redundant prefetches).
+     */
+    bool probe(Addr addr) const { return contains(addr); }
+
+    /** Remove the block if present; @return true if it was resident. */
+    bool invalidate(Addr addr);
+
+    /** Drop all blocks and reset LRU (statistics are kept). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+
+    /** Number of resident blocks (for tests). */
+    u64 residentBlocks() const;
+
+    /** Misses per kilo-instruction given an instruction count. */
+    static double
+    mpki(u64 misses, u64 instructions)
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(misses) /
+                         static_cast<double>(instructions);
+    }
+
+  private:
+    struct Way
+    {
+        Addr tag = invalidAddr; ///< block-aligned address; invalidAddr=empty
+        u64 lastUse = 0;        ///< LRU timestamp
+        bool dirty = false;
+    };
+
+    struct Set
+    {
+        std::vector<Way> ways;
+    };
+
+    Set &setFor(Addr addr);
+    const Set &setFor(Addr addr) const;
+
+    CacheConfig config_;
+    Addr blockMask_;
+    u64 setShift_;
+    u64 setMask_;
+    std::vector<Set> sets_;
+    u64 useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace lva
+
+#endif // LVA_MEM_CACHE_HH

@@ -1,0 +1,103 @@
+#include "prefetch/ghb_prefetcher.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace lva {
+
+GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherConfig &config)
+    : config_(config), ghb_(config.ghbEntries),
+      index_(config.indexEntries)
+{
+    lva_assert(config.ghbEntries > 0 && config.indexEntries > 0,
+               "prefetcher tables must have entries");
+    lva_assert(config.blockBytes > 0, "bad block size");
+}
+
+std::vector<Addr>
+GhbPrefetcher::onMiss(LoadSiteId pc, Addr addr)
+{
+    stats_.misses.inc();
+    const Addr block = addr & ~Addr(config_.blockBytes - 1);
+
+    // --- Train: append to the GHB and link into this PC's chain. ---
+    IndexEntry &idx = index_[mix64(pc) % config_.indexEntries];
+    const u64 prev_seq =
+        (idx.pcTag == pc && live(idx.lastSeq)) ? idx.lastSeq : 0;
+
+    const u64 my_seq = nextSeq_++;
+    GhbEntry &slot = ghb_[my_seq % config_.ghbEntries];
+    slot.addr = block;
+    slot.prevSeq = prev_seq;
+    slot.seq = my_seq;
+
+    idx.pcTag = pc;
+    idx.lastSeq = my_seq;
+
+    if (config_.degree == 0)
+        return {};
+
+    // --- Reconstruct this PC's recent miss addresses (newest first). ---
+    std::vector<Addr> history;
+    history.reserve(config_.maxChainWalk);
+    u64 seq = my_seq;
+    while (live(seq) && history.size() < config_.maxChainWalk) {
+        const GhbEntry &entry = ghb_[seq % config_.ghbEntries];
+        if (entry.seq != seq)
+            break; // overwritten since linked
+        history.push_back(entry.addr);
+        seq = entry.prevSeq;
+    }
+
+    std::vector<Addr> prefetches;
+    prefetches.reserve(config_.degree);
+
+    // --- Local delta correlation over the PC's delta stream. ---
+    // deltas[i] = history[i] - history[i+1]  (newest delta first)
+    if (history.size() >= 4) {
+        std::vector<i64> deltas(history.size() - 1);
+        for (std::size_t i = 0; i + 1 < history.size(); ++i)
+            deltas[i] = static_cast<i64>(history[i]) -
+                        static_cast<i64>(history[i + 1]);
+
+        const i64 d0 = deltas[0];
+        const i64 d1 = deltas[1];
+        // Find the most recent earlier occurrence of the pair (d1, d0).
+        for (std::size_t j = 2; j + 1 < deltas.size(); ++j) {
+            if (deltas[j] == d0 && deltas[j + 1] == d1) {
+                // Replay the deltas that followed that occurrence
+                // (they sit at decreasing indices: j-1, j-2, ...).
+                Addr next = block;
+                std::size_t k = j;
+                while (prefetches.size() < config_.degree) {
+                    if (k == 0) {
+                        // Pattern exhausted: keep striding by d0.
+                        next = static_cast<Addr>(
+                            static_cast<i64>(next) + d0);
+                    } else {
+                        --k;
+                        next = static_cast<Addr>(
+                            static_cast<i64>(next) + deltas[k]);
+                    }
+                    prefetches.push_back(next &
+                                         ~Addr(config_.blockBytes - 1));
+                    stats_.deltaPredicts.inc();
+                }
+                break;
+            }
+        }
+    }
+
+    // --- Next-line fallback: a single sequential block when no delta
+    // pattern is found (issuing the full degree blindly would flood
+    // the cache with useless fetches on irregular streams). ---
+    if (prefetches.empty()) {
+        prefetches.push_back(block + config_.blockBytes);
+        stats_.nextLine.inc();
+    }
+
+    stats_.issued.inc(prefetches.size());
+    return prefetches;
+}
+
+} // namespace lva

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Global-history-buffer prefetcher baseline (Nesbit & Smith, IEEE Micro
+ * 2005), configured as in the paper's Figure 8 comparison: 2048-entry
+ * GHB + 2048-entry index table, PC-localized delta correlation with a
+ * next-line fallback, and a configurable prefetch degree.
+ */
+
+#ifndef LVA_PREFETCH_GHB_PREFETCHER_HH
+#define LVA_PREFETCH_GHB_PREFETCHER_HH
+
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/** Tunables of the GHB prefetcher. */
+struct GhbPrefetcherConfig
+{
+    u32 ghbEntries = 2048;   ///< circular miss-address history
+    u32 indexEntries = 2048; ///< PC-indexed head pointers into the GHB
+    u32 degree = 4;          ///< prefetches issued per miss
+    u32 blockBytes = 64;     ///< cache block size
+    u32 maxChainWalk = 64;   ///< history depth examined per prediction
+};
+
+/** Event counts for the prefetcher. */
+struct PrefetcherStats
+{
+    Counter misses;        ///< training misses observed
+    Counter issued;        ///< prefetch addresses produced
+    Counter deltaPredicts; ///< predictions from delta correlation
+    Counter nextLine;      ///< predictions from the next-line fallback
+
+    void
+    reset()
+    {
+        misses.reset();
+        issued.reset();
+        deltaPredicts.reset();
+        nextLine.reset();
+    }
+};
+
+/**
+ * PC-localized GHB prefetcher.
+ *
+ * Each L1 miss appends (address, link-to-previous-miss-of-same-PC) to a
+ * circular global history buffer; an index table maps the PC to the most
+ * recent entry. Prediction walks the PC's miss chain, extracts the delta
+ * stream and looks for the most recent earlier occurrence of the latest
+ * delta pair (delta correlation); the deltas that followed it are
+ * replayed, up to the prefetch degree. With no correlation match the
+ * prefetcher falls back to next-line prefetching.
+ */
+class GhbPrefetcher
+{
+  public:
+    explicit GhbPrefetcher(const GhbPrefetcherConfig &config);
+
+    const GhbPrefetcherConfig &config() const { return config_; }
+
+    /**
+     * Observe an L1 load miss and produce prefetch candidates.
+     *
+     * @param pc   static load site of the missing load
+     * @param addr miss address
+     * @return up to config().degree block-aligned prefetch addresses
+     */
+    std::vector<Addr> onMiss(LoadSiteId pc, Addr addr);
+
+    const PrefetcherStats &stats() const { return stats_; }
+
+  private:
+    struct GhbEntry
+    {
+        Addr addr = 0;
+        u64 prevSeq = 0; ///< global sequence of previous same-PC miss
+        u64 seq = 0;     ///< own global sequence (0 = never written)
+    };
+
+    struct IndexEntry
+    {
+        u64 pcTag = ~u64(0);
+        u64 lastSeq = 0; ///< most recent GHB sequence for this PC
+    };
+
+    /** Is a recorded sequence number still resident in the GHB? */
+    bool live(u64 seq) const
+    {
+        return seq != 0 && seq + config_.ghbEntries >= nextSeq_;
+    }
+
+    GhbPrefetcherConfig config_;
+    std::vector<GhbEntry> ghb_;
+    std::vector<IndexEntry> index_;
+    u64 nextSeq_ = 1;
+    PrefetcherStats stats_;
+};
+
+} // namespace lva
+
+#endif // LVA_PREFETCH_GHB_PREFETCHER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Full-system configuration (paper Table II).
+ *
+ *   4 IA-32 cores, 2 GHz, 4-wide OoO, 32-entry ROB
+ *   16 KB 8-way private L1 D-caches, 1-cycle latency, 64 B blocks
+ *   512 KB shared distributed L2, 16-way, 6-cycle latency
+ *   1 GB main memory, 160-cycle latency
+ *   MSI coherence protocol
+ *   2x2 mesh, 3-cycle routers
+ */
+
+#ifndef LVA_SIM_CONFIG_HH
+#define LVA_SIM_CONFIG_HH
+
+#include "core/approximator_config.hh"
+#include "cpu/ooo_core.hh"
+#include "energy/energy_model.hh"
+#include "mem/cache.hh"
+#include "noc/mesh.hh"
+#include "sim/directory.hh"
+
+namespace lva {
+
+/** Parameters of the 4-core CMP timing model. */
+struct FullSystemConfig
+{
+    u32 cores = 4;
+    CoreConfig core{};                       ///< 4-wide, 32-entry ROB
+    CacheConfig l1 = CacheConfig::fullSystemL1();
+    u32 l1Latency = 1;
+
+    CacheConfig l2{512 * 1024, 16, 64};      ///< shared, distributed
+    u32 l2Latency = 6;
+    u32 l2Banks = 4;                         ///< one bank per mesh node
+    u32 l2Occupancy = 1;                     ///< bank port busy cycles
+
+    /** Coherence protocol; the paper's system uses MSI (Table II),
+     *  MESI is provided as an ablation (silent E->M upgrades). */
+    CoherenceProtocol protocol = CoherenceProtocol::Msi;
+
+    u32 memLatency = 160;
+    u32 memOccupancy = 8;                    ///< controller busy cycles
+
+    MeshConfig mesh{};
+    EnergyParams energy{};
+
+    /** Approximation: enabled when lvaEnabled, using approx. */
+    bool lvaEnabled = false;
+    ApproximatorConfig approx{};
+
+    /**
+     * Extra latency added to background (training / write-allocate)
+     * fetches, modelling the deprioritized, low-energy NoC and memory
+     * paths of paper section VI-C. LVA tolerates this because stale
+     * training only costs accuracy, never a rollback.
+     */
+    u32 backgroundFetchExtraLatency = 0;
+
+    /**
+     * Heterogeneous NoC (paper section VI-C, citing Mishra et al.):
+     * when enabled, background training fetches travel over a second
+     * mesh plane with narrower links and deeper (low-voltage) router
+     * pipelines, whose flit-hops cost nocFlitHopSlow instead of
+     * nocFlitHop. Demand traffic keeps the fast plane to itself,
+     * which can even help tail latency.
+     */
+    bool heteroNoc = false;
+    MeshConfig slowMesh{2, 2, /*routerCycles=*/6, /*flitBytes=*/8};
+
+    /** Precise baseline system. */
+    static FullSystemConfig
+    baseline()
+    {
+        return {};
+    }
+
+    /**
+     * LVA system at a given approximation degree. The full-system
+     * value delay is ~1 load (paper section VI-E observes average
+     * value delay of ~1 in full-system runs).
+     */
+    static FullSystemConfig
+    lva(u32 degree)
+    {
+        FullSystemConfig cfg;
+        cfg.lvaEnabled = true;
+        cfg.approx = ApproximatorConfig::baseline();
+        cfg.approx.approxDegree = degree;
+        cfg.approx.valueDelay = 1;
+        return cfg;
+    }
+};
+
+} // namespace lva
+
+#endif // LVA_SIM_CONFIG_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Directory state for the MSI coherence protocol.
+ *
+ * One logical directory, banked with the shared L2: for every block it
+ * records which L1s hold it and whether one of them owns it in M. The
+ * timing simulator consults it to generate invalidation, downgrade and
+ * forwarding traffic, and keeps it consistent with the functional L1
+ * tag arrays on every fill, eviction and upgrade.
+ */
+
+#ifndef LVA_SIM_DIRECTORY_HH
+#define LVA_SIM_DIRECTORY_HH
+
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/** Coherence state of a block as seen by the directory. */
+enum class CoherenceState : u8 {
+    Invalid,   ///< no L1 holds the block
+    Shared,    ///< one or more L1s hold it read-only
+    Exclusive, ///< exactly one L1 holds it clean (MESI only)
+    Modified,  ///< exactly one L1 owns it dirty
+};
+
+/** Which protocol the directory enforces. */
+enum class CoherenceProtocol : u8 {
+    Msi,  ///< the paper's Table II configuration
+    Mesi, ///< adds the E state: silent upgrade on private data
+};
+
+/** Directory statistics. */
+struct DirectoryStats
+{
+    Counter invalidationsSent; ///< sharer copies killed by GetM
+    Counter downgrades;        ///< M owners demoted to S by GetS
+    Counter forwards;          ///< owner-to-requestor data forwards
+
+    void
+    reset()
+    {
+        invalidationsSent.reset();
+        downgrades.reset();
+        forwards.reset();
+    }
+};
+
+/**
+ * Sharer-tracking directory for up to 32 cores.
+ */
+class Directory
+{
+  public:
+    static constexpr u32 noOwner = ~u32(0);
+
+    struct Entry
+    {
+        u32 sharers = 0;      ///< bitmask of L1s holding the block
+        u32 owner = noOwner;  ///< valid in Exclusive/Modified
+        bool dirty = false;   ///< distinguishes M from E
+    };
+
+    /** Current coherence state of @p block. */
+    CoherenceState
+    stateOf(Addr block) const
+    {
+        const auto it = entries_.find(block);
+        if (it == entries_.end() || it->second.sharers == 0)
+            return CoherenceState::Invalid;
+        if (it->second.owner == noOwner)
+            return CoherenceState::Shared;
+        return it->second.dirty ? CoherenceState::Modified
+                                : CoherenceState::Exclusive;
+    }
+
+    const Entry *
+    find(Addr block) const
+    {
+        const auto it = entries_.find(block);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    bool
+    isSharer(Addr block, u32 core) const
+    {
+        const Entry *e = find(block);
+        return e != nullptr && (e->sharers & (1u << core)) != 0;
+    }
+
+    /** Record that @p core obtained the block in S. */
+    void
+    addSharer(Addr block, u32 core)
+    {
+        Entry &e = entries_[block];
+        e.sharers |= 1u << core;
+        if (e.owner == core)
+            e.owner = noOwner; // demoted by a read fill
+    }
+
+    /** Record that @p core obtained sole ownership.
+     *  @param dirty true for M (a write), false for E (a read fill
+     *         granted exclusively under MESI) */
+    void
+    setOwner(Addr block, u32 core, bool dirty = true)
+    {
+        Entry &e = entries_[block];
+        e.sharers = 1u << core;
+        e.owner = core;
+        e.dirty = dirty;
+    }
+
+    /** Silent E -> M transition (a MESI store hit on own E copy). */
+    void
+    markDirty(Addr block)
+    {
+        auto it = entries_.find(block);
+        if (it != entries_.end())
+            it->second.dirty = true;
+    }
+
+    /** Demote an E/M owner to a plain sharer (GetS downgrade). */
+    void
+    downgrade(Addr block)
+    {
+        auto it = entries_.find(block);
+        if (it != entries_.end()) {
+            it->second.owner = noOwner;
+            it->second.dirty = false;
+            stats_.downgrades.inc();
+        }
+    }
+
+    /** Remove @p core's copy (L1 eviction or invalidation). */
+    void
+    removeSharer(Addr block, u32 core)
+    {
+        auto it = entries_.find(block);
+        if (it == entries_.end())
+            return;
+        it->second.sharers &= ~(1u << core);
+        if (it->second.owner == core) {
+            it->second.owner = noOwner;
+            it->second.dirty = false;
+        }
+        if (it->second.sharers == 0)
+            entries_.erase(it);
+    }
+
+    /** Drop all sharer state for @p block (L2 eviction recall). */
+    void
+    clear(Addr block)
+    {
+        entries_.erase(block);
+    }
+
+    DirectoryStats &stats() { return stats_; }
+    const DirectoryStats &stats() const { return stats_; }
+
+    std::size_t trackedBlocks() const { return entries_.size(); }
+
+  private:
+    std::unordered_map<Addr, Entry> entries_;
+    DirectoryStats stats_;
+};
+
+} // namespace lva
+
+#endif // LVA_SIM_DIRECTORY_HH

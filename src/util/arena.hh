@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic virtual-address allocation for simulated data regions.
+ *
+ * Workload data lives in ordinary host containers; the simulated memory
+ * system only ever sees synthetic virtual addresses. Allocating them from
+ * an arena (rather than using host pointers) makes every cache access
+ * stream bit-identical across runs and platforms.
+ */
+
+#ifndef LVA_UTIL_ARENA_HH
+#define LVA_UTIL_ARENA_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/**
+ * Bump allocator over a simulated virtual address space.
+ *
+ * Regions are aligned to cache-block boundaries so that distinct regions
+ * never share a block (which would entangle their miss behaviour).
+ */
+class VirtualArena
+{
+  public:
+    explicit VirtualArena(Addr base = 0x1000'0000, u32 block_bytes = 64)
+        : next_(base), blockBytes_(block_bytes)
+    {
+        lva_assert(block_bytes > 0 &&
+                   (block_bytes & (block_bytes - 1)) == 0,
+                   "block size %u not a power of two", block_bytes);
+    }
+
+    /** Allocate @p bytes, returning the block-aligned base address. */
+    Addr
+    allocate(u64 bytes)
+    {
+        const Addr base = next_;
+        const u64 mask = blockBytes_ - 1;
+        next_ += (bytes + mask) & ~mask;
+        return base;
+    }
+
+    /** Total bytes of address space handed out so far. */
+    u64 bytesAllocated(Addr base = 0x1000'0000) const
+    {
+        return next_ - base;
+    }
+
+    Addr next() const { return next_; }
+
+  private:
+    Addr next_;
+    u32 blockBytes_;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_ARENA_HH

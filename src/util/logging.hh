@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (library bug); aborts.
+ * fatal()  - the simulation cannot continue due to user input; exits.
+ * warn()   - something is suspicious but simulation continues.
+ * inform() - plain status output.
+ */
+
+#ifndef LVA_UTIL_LOGGING_HH
+#define LVA_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lva {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace lva
+
+/** Abort with a message: an internal invariant was violated. */
+#define lva_panic(...) \
+    ::lva::detail::panicImpl(__FILE__, __LINE__, \
+                             ::lva::detail::vformat(__VA_ARGS__))
+
+/** Exit with a message: user-provided configuration is unusable. */
+#define lva_fatal(...) \
+    ::lva::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::lva::detail::vformat(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define lva_warn(...) \
+    ::lva::detail::warnImpl(::lva::detail::vformat(__VA_ARGS__))
+
+/** Print an informational status line. */
+#define lva_inform(...) \
+    ::lva::detail::informImpl(::lva::detail::vformat(__VA_ARGS__))
+
+/** Panic unless the given condition holds. */
+#define lva_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            lva_panic("assertion '%s' failed: %s", #cond, \
+                      ::lva::detail::vformat(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+#endif // LVA_UTIL_LOGGING_HH

@@ -1,0 +1,108 @@
+#include "util/pgm.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+GrayImage::GrayImage(u32 width, u32 height, u8 fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height, fill)
+{
+    lva_assert(width > 0 && height > 0, "empty image %ux%u", width, height);
+}
+
+u8
+GrayImage::at(u32 x, u32 y) const
+{
+    lva_assert(x < width_ && y < height_, "pixel (%u,%u) out of bounds",
+               x, y);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void
+GrayImage::set(u32 x, u32 y, u8 v)
+{
+    lva_assert(x < width_ && y < height_, "pixel (%u,%u) out of bounds",
+               x, y);
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = v;
+}
+
+void
+GrayImage::fillCircle(i32 cx, i32 cy, i32 radius, u8 v)
+{
+    const i32 r2 = radius * radius;
+    for (i32 dy = -radius; dy <= radius; ++dy) {
+        for (i32 dx = -radius; dx <= radius; ++dx) {
+            if (dx * dx + dy * dy > r2)
+                continue;
+            const i32 x = cx + dx;
+            const i32 y = cy + dy;
+            if (x >= 0 && y >= 0 && x < static_cast<i32>(width_) &&
+                y < static_cast<i32>(height_)) {
+                set(static_cast<u32>(x), static_cast<u32>(y), v);
+            }
+        }
+    }
+}
+
+void
+GrayImage::drawLine(i32 x0, i32 y0, i32 x1, i32 y1, u8 v)
+{
+    const i32 dx = std::abs(x1 - x0);
+    const i32 dy = -std::abs(y1 - y0);
+    const i32 sx = x0 < x1 ? 1 : -1;
+    const i32 sy = y0 < y1 ? 1 : -1;
+    i32 err = dx + dy;
+    while (true) {
+        if (x0 >= 0 && y0 >= 0 && x0 < static_cast<i32>(width_) &&
+            y0 < static_cast<i32>(height_)) {
+            set(static_cast<u32>(x0), static_cast<u32>(y0), v);
+        }
+        if (x0 == x1 && y0 == y1)
+            break;
+        const i32 e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+void
+GrayImage::writePgm(const std::string &path) const
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        lva_fatal("cannot open '%s' for writing", path.c_str());
+    out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+    out.write(reinterpret_cast<const char *>(pixels_.data()),
+              static_cast<std::streamsize>(pixels_.size()));
+}
+
+double
+GrayImage::meanAbsDiff(const GrayImage &a, const GrayImage &b)
+{
+    lva_assert(a.width() == b.width() && a.height() == b.height(),
+               "image size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.pixels().size(); ++i)
+        sum += std::abs(static_cast<int>(a.pixels()[i]) -
+                        static_cast<int>(b.pixels()[i]));
+    return sum / static_cast<double>(a.pixels().size());
+}
+
+} // namespace lva

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal 8-bit grayscale image with PGM (P5) output.
+ *
+ * Used to regenerate paper Figure 1: the bodytrack output rendered with
+ * and without load value approximation.
+ */
+
+#ifndef LVA_UTIL_PGM_HH
+#define LVA_UTIL_PGM_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lva {
+
+/** Row-major 8-bit grayscale image. */
+class GrayImage
+{
+  public:
+    GrayImage(u32 width, u32 height, u8 fill = 0);
+
+    u32 width() const { return width_; }
+    u32 height() const { return height_; }
+
+    u8 at(u32 x, u32 y) const;
+    void set(u32 x, u32 y, u8 v);
+
+    /** Draw a filled disc (clipped at the borders). */
+    void fillCircle(i32 cx, i32 cy, i32 radius, u8 v);
+
+    /** Draw a 1-pixel line via Bresenham (clipped at the borders). */
+    void drawLine(i32 x0, i32 y0, i32 x1, i32 y1, u8 v);
+
+    const std::vector<u8> &pixels() const { return pixels_; }
+    std::vector<u8> &pixels() { return pixels_; }
+
+    /** Write as binary PGM (P5); creates parent directories. */
+    void writePgm(const std::string &path) const;
+
+    /** Mean absolute pixel difference, in [0, 255]. */
+    static double meanAbsDiff(const GrayImage &a, const GrayImage &b);
+
+  private:
+    u32 width_;
+    u32 height_;
+    std::vector<u8> pixels_;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_PGM_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (input generation, annealing
+ * proposals, Monte-Carlo paths) flows through Rng so that every experiment
+ * is exactly reproducible from a seed. The generator is xoshiro256**,
+ * seeded via SplitMix64 as its authors recommend.
+ */
+
+#ifndef LVA_UTIL_RANDOM_HH
+#define LVA_UTIL_RANDOM_HH
+
+#include <array>
+#include <cmath>
+
+#include "util/types.hh"
+
+namespace lva {
+
+/** SplitMix64 step; used for seeding and cheap stateless mixing. */
+constexpr u64
+splitMix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a single value (for hashing). */
+constexpr u64
+mix64(u64 x)
+{
+    u64 s = x;
+    return splitMix64(s);
+}
+
+/**
+ * xoshiro256** deterministic PRNG.
+ *
+ * Small, fast and high quality; identical stream for identical seeds on
+ * every platform, which the 5-run averaging methodology relies on.
+ */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed'01ad'cafe'f00dULL)
+    {
+        u64 sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    /** Uniform 64-bit value. */
+    u64
+    next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    u64
+    below(u64 bound)
+    {
+        // Lemire-style rejection-free-enough reduction: fine for
+        // simulation purposes (bias < 2^-64 * bound).
+        return static_cast<u64>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Standard normal deviate (Box-Muller, one value per call). */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 == 0.0)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * M_PI * u2);
+        haveSpare_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr u64 rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<u64, 4> state_{};
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_RANDOM_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Saturating counters, the building block of confidence estimation.
+ */
+
+#ifndef LVA_UTIL_SAT_COUNTER_HH
+#define LVA_UTIL_SAT_COUNTER_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/**
+ * Signed saturating counter clamped to [min, max].
+ *
+ * The paper's confidence counter is a 4-bit signed saturating counter in
+ * [-8, 7]; an approximation is made while the counter is >= 0.
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter(i32 min_value, i32 max_value, i32 initial = 0)
+        : min_(min_value), max_(max_value), value_(initial)
+    {
+        lva_assert(min_value <= max_value,
+                   "counter range [%d, %d] is empty", min_value, max_value);
+        lva_assert(initial >= min_value && initial <= max_value,
+                   "initial %d outside [%d, %d]",
+                   initial, min_value, max_value);
+    }
+
+    /** Construct from a bit width: an n-bit counter spans [-2^(n-1), 2^(n-1)-1]. */
+    static SignedSatCounter
+    fromBits(u32 bits, i32 initial = 0)
+    {
+        lva_assert(bits >= 1 && bits <= 31, "bad counter width %u", bits);
+        const i32 half = i32(1) << (bits - 1);
+        return SignedSatCounter(-half, half - 1, initial);
+    }
+
+    /** Increment by n, saturating at the maximum. */
+    void
+    increment(i32 n = 1)
+    {
+        value_ = (value_ > max_ - n) ? max_ : value_ + n;
+    }
+
+    /** Decrement by n, saturating at the minimum. */
+    void
+    decrement(i32 n = 1)
+    {
+        value_ = (value_ < min_ + n) ? min_ : value_ - n;
+    }
+
+    void reset(i32 v) { value_ = (v < min_) ? min_ : (v > max_) ? max_ : v; }
+
+    i32 value() const { return value_; }
+    i32 min() const { return min_; }
+    i32 max() const { return max_; }
+    bool saturatedHigh() const { return value_ == max_; }
+    bool saturatedLow() const { return value_ == min_; }
+
+  private:
+    i32 min_;
+    i32 max_;
+    i32 value_;
+};
+
+/**
+ * Unsigned down-counter used for the approximation degree: initialized to
+ * the maximum degree, decremented per approximation, fetch at zero.
+ */
+class DegreeCounter
+{
+  public:
+    explicit DegreeCounter(u32 max_degree = 0)
+        : max_(max_degree), value_(max_degree)
+    {}
+
+    /** Current remaining uses before a training fetch is required. */
+    u32 value() const { return value_; }
+    u32 maxDegree() const { return max_; }
+
+    bool atZero() const { return value_ == 0; }
+
+    /** Consume one approximation; returns true if a fetch is now due. */
+    bool
+    consume()
+    {
+        if (value_ == 0)
+            return true;
+        --value_;
+        return false;
+    }
+
+    /** Reset after a training fetch. */
+    void reset() { value_ = max_; }
+
+    /** Change the configured maximum degree (resets the count). */
+    void
+    setMaxDegree(u32 d)
+    {
+        max_ = d;
+        value_ = d;
+    }
+
+  private:
+    u32 max_;
+    u32 value_;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,57 @@
+#include "util/stat_dump.hh"
+
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+double
+StatDump::valueOf(const std::string &name) const
+{
+    for (const auto &entry : entries_)
+        if (entry.name == name)
+            return entry.value;
+    return 0.0;
+}
+
+void
+StatDump::print(std::FILE *out) const
+{
+    std::size_t width = 0;
+    for (const auto &entry : entries_)
+        width = std::max(width, entry.name.size());
+
+    for (const auto &entry : entries_) {
+        // Integers print without a fraction, like gem5.
+        if (entry.value ==
+                static_cast<double>(static_cast<long long>(entry.value))) {
+            std::fprintf(out, "%-*s  %14lld", static_cast<int>(width),
+                         entry.name.c_str(),
+                         static_cast<long long>(entry.value));
+        } else {
+            std::fprintf(out, "%-*s  %14.6f", static_cast<int>(width),
+                         entry.name.c_str(), entry.value);
+        }
+        if (!entry.desc.empty())
+            std::fprintf(out, "  # %s", entry.desc.c_str());
+        std::fprintf(out, "\n");
+    }
+}
+
+void
+StatDump::writeFile(const std::string &path) const
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        lva_fatal("cannot open '%s' for writing", path.c_str());
+    print(out);
+    std::fclose(out);
+}
+
+} // namespace lva

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * gem5-style statistics dump: flat dotted names, one line per stat,
+ * value column, '#'-prefixed description — greppable and diffable.
+ */
+
+#ifndef LVA_UTIL_STAT_DUMP_HH
+#define LVA_UTIL_STAT_DUMP_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lva {
+
+/** One named statistic. */
+struct StatEntry
+{
+    std::string name;  ///< dotted path, e.g. "core0.l1.misses"
+    double value = 0.0;
+    std::string desc;
+};
+
+/**
+ * An ordered collection of statistics with gem5-style text output:
+ *
+ *   system.l1.misses             1014536  # L1 load misses
+ */
+class StatDump
+{
+  public:
+    void
+    add(std::string name, double value, std::string desc = "")
+    {
+        entries_.push_back(
+            StatEntry{std::move(name), value, std::move(desc)});
+    }
+
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+    /** Value lookup by exact name; 0.0 when absent (tests). */
+    double valueOf(const std::string &name) const;
+
+    /** Render to @p out in gem5 stats-file format. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Write to a file; creates parent directories. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::vector<StatEntry> entries_;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_STAT_DUMP_HH

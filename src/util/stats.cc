@@ -1,0 +1,20 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+namespace lva {
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        lva_assert(x > 0.0, "geomean requires positive values, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace lva

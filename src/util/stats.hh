@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar counters, running means and
+ * histograms, in the spirit of gem5's stats package but trimmed to what the
+ * LVA evaluation needs.
+ */
+
+#ifndef LVA_UTIL_STATS_HH
+#define LVA_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(u64 n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    u64 value() const { return value_; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/** Running mean / variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void
+    sample(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    u64 count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        mean_ = m2_ = sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets + 2, 0)
+    {
+        lva_assert(hi > lo && buckets > 0, "bad histogram bounds");
+    }
+
+    void
+    sample(double x)
+    {
+        ++total_;
+        if (x < lo_) {
+            ++counts_.front();
+        } else if (x >= hi_) {
+            ++counts_.back();
+        } else {
+            const std::size_t inner = counts_.size() - 2;
+            auto idx = static_cast<std::size_t>(
+                (x - lo_) / (hi_ - lo_) * static_cast<double>(inner));
+            if (idx >= inner)
+                idx = inner - 1;
+            counts_[idx + 1] += 1;
+        }
+    }
+
+    u64 total() const { return total_; }
+    u64 underflow() const { return counts_.front(); }
+    u64 overflow() const { return counts_.back(); }
+    std::size_t buckets() const { return counts_.size() - 2; }
+    u64 bucketCount(std::size_t i) const { return counts_.at(i + 1); }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<u64> counts_;
+    u64 total_ = 0;
+};
+
+/** Geometric mean of a set of strictly positive values. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace lva
+
+#endif // LVA_UTIL_STATS_HH

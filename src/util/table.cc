@@ -1,0 +1,114 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    lva_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    lva_assert(cells.size() == header_.size(),
+               "row has %zu cells, header has %zu",
+               cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(const std::string &title) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%s%-*s", c ? "  " : "",
+                        static_cast<int>(widths[c]), row[c].c_str());
+        std::printf("\n");
+    };
+
+    print_row(header_);
+    std::size_t total = header_.size() ? 2 * (header_.size() - 1) : 0;
+    for (auto w : widths)
+        total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out)
+        lva_fatal("cannot open '%s' for writing", path.c_str());
+
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << csvEscape(row[c]);
+        }
+        out << '\n';
+    };
+    write_row(header_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace lva

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aligned console table and CSV emission used by the benchmark harnesses
+ * to print paper-style rows.
+ */
+
+#ifndef LVA_UTIL_TABLE_HH
+#define LVA_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace lva {
+
+/**
+ * A simple column-aligned text table that can also be saved as CSV.
+ *
+ * Usage:
+ * @code
+ *   Table t({"benchmark", "MPKI", "error"});
+ *   t.addRow({"canneal", "12.50", "3.1%"});
+ *   t.print();
+ *   t.writeCsv("results/table1.csv");
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns to stdout, with an optional title. */
+    void print(const std::string &title = "") const;
+
+    /** Write as CSV; creates parent directories as needed. */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits after the point. */
+std::string fmtDouble(double v, int decimals = 3);
+
+/** Format a fraction (0.126) as a percent string ("12.6%"). */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+} // namespace lva
+
+#endif // LVA_UTIL_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout the LVA library.
+ */
+
+#ifndef LVA_UTIL_TYPES_HH
+#define LVA_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lva {
+
+/** Byte address in the simulated (virtual) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated tick / event time (same granularity as Cycle). */
+using Tick = std::uint64_t;
+
+/** Logical hardware thread / core identifier. */
+using ThreadId = std::uint32_t;
+
+/**
+ * Static load-site identifier. Stands in for the instruction address (PC)
+ * of a load; the workload layer assigns one per static load in the kernel
+ * source, mirroring the distinct PC values that Pin would observe.
+ */
+using LoadSiteId = std::uint32_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Sentinel for an invalid / unmapped address. */
+constexpr Addr invalidAddr = ~Addr(0);
+
+} // namespace lva
+
+#endif // LVA_UTIL_TYPES_HH

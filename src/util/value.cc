@@ -1,0 +1,137 @@
+#include "util/value.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+const char *
+valueKindName(ValueKind kind)
+{
+    switch (kind) {
+      case ValueKind::Int64:
+        return "Int64";
+      case ValueKind::Float32:
+        return "Float32";
+      case ValueKind::Float64:
+        return "Float64";
+    }
+    return "?";
+}
+
+Value
+Value::ofKind(ValueKind kind, double v)
+{
+    switch (kind) {
+      case ValueKind::Int64:
+        return fromInt(static_cast<i64>(std::llround(v)));
+      case ValueKind::Float32:
+        return fromFloat(static_cast<float>(v));
+      case ValueKind::Float64:
+        return fromDouble(v);
+    }
+    lva_panic("bad ValueKind %d", static_cast<int>(kind));
+}
+
+double
+Value::toReal() const
+{
+    switch (kind_) {
+      case ValueKind::Int64:
+        return static_cast<double>(asInt());
+      case ValueKind::Float32:
+        return static_cast<double>(asFloat());
+      case ValueKind::Float64:
+        return asDouble();
+    }
+    lva_panic("bad ValueKind %d", static_cast<int>(kind_));
+}
+
+u64
+Value::hashBits(u32 mantissa_drop) const
+{
+    if (mantissa_drop == 0)
+        return bits_;
+    switch (kind_) {
+      case ValueKind::Int64:
+        return bits_;
+      case ValueKind::Float32: {
+        const u32 drop = mantissa_drop > 23 ? 23 : mantissa_drop;
+        return bits_ & ~((u64(1) << drop) - 1);
+      }
+      case ValueKind::Float64: {
+        const u32 drop = mantissa_drop > 52 ? 52 : mantissa_drop;
+        return bits_ & ~((u64(1) << drop) - 1);
+      }
+    }
+    lva_panic("bad ValueKind %d", static_cast<int>(kind_));
+}
+
+std::string
+Value::toString() const
+{
+    switch (kind_) {
+      case ValueKind::Int64:
+        return std::to_string(asInt());
+      case ValueKind::Float32:
+        return std::to_string(asFloat());
+      case ValueKind::Float64:
+        return std::to_string(asDouble());
+    }
+    return "?";
+}
+
+double
+relativeError(double approx, double actual)
+{
+    if (std::isnan(approx) || std::isnan(actual))
+        return std::numeric_limits<double>::infinity();
+    if (actual == 0.0)
+        return approx == 0.0 ? 0.0
+                             : std::numeric_limits<double>::infinity();
+    return std::fabs(approx - actual) / std::fabs(actual);
+}
+
+bool
+withinWindow(const Value &approx, const Value &actual, double window)
+{
+    if (window <= 0.0)
+        return approx.exactlyEquals(actual);
+    if (std::isinf(window))
+        return true;
+    return relativeError(approx.toReal(), actual.toReal()) <= window;
+}
+
+Value
+averageOf(std::span<const Value> values)
+{
+    lva_assert(!values.empty(), "averageOf on empty history");
+    double sum = 0.0;
+    for (const Value &v : values)
+        sum += v.toReal();
+    return Value::ofKind(values.front().kind(),
+                         sum / static_cast<double>(values.size()));
+}
+
+Value
+lastOf(std::span<const Value> values)
+{
+    lva_assert(!values.empty(), "lastOf on empty history");
+    return values.back();
+}
+
+Value
+strideOf(std::span<const Value> values)
+{
+    lva_assert(!values.empty(), "strideOf on empty history");
+    if (values.size() == 1)
+        return values.back();
+    const double first = values.front().toReal();
+    const double last = values.back().toReal();
+    const double mean_delta =
+        (last - first) / static_cast<double>(values.size() - 1);
+    return Value::ofKind(values.front().kind(), last + mean_delta);
+}
+
+} // namespace lva

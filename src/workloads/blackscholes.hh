@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Mini-blackscholes: Black-Scholes closed-form option pricing over a
+ * portfolio with the heavy input redundancy the paper observes (the
+ * underlying price takes four values, two of which cover >98% of the
+ * options). The six per-option input arrays are annotated approximable;
+ * the option-type flag (control flow) is precise.
+ *
+ * Output error metric (paper section IV): the percentage of option
+ * prices whose relative error exceeds 1%.
+ */
+
+#ifndef LVA_WORKLOADS_BLACKSCHOLES_HH
+#define LVA_WORKLOADS_BLACKSCHOLES_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class BlackscholesWorkload : public Workload
+{
+  public:
+    explicit BlackscholesWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "blackscholes"; }
+    ValueKind approxKind() const override { return ValueKind::Float32; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    const std::vector<float> &prices() const { return prices_; }
+
+    /** Closed-form Black-Scholes price (exposed for unit tests). */
+    static float price(float spot, float strike, float rate, float vol,
+                       float time, bool is_call);
+
+  private:
+    u64 numOptions_ = 0;
+    u32 passes_ = 0;
+
+    Region<float> spot_;
+    Region<float> strike_;
+    Region<float> rate_;
+    Region<float> vol_;
+    Region<float> time_;
+    Region<i32> type_;    ///< 0 = put, 1 = call; precise (control flow)
+    Region<float> out_;
+
+    std::vector<float> prices_; ///< final outputs (host copy)
+
+    LoadSiteId siteSpot_, siteStrike_, siteRate_, siteVol_, siteTime_,
+        siteType_, siteStore_;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_BLACKSCHOLES_HH

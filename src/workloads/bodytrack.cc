@@ -1,0 +1,342 @@
+#include "workloads/bodytrack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+constexpr u64 instrPerSample = 63;
+constexpr u64 instrPerParticle = 70;
+
+/** Body-part offsets from the body centre (head, torso, two limbs,
+ *  leg), matching the sampled likelihood sites. */
+constexpr i32 partOffset[5][2] = {
+    {0, -18}, {0, 0}, {-14, 12}, {14, 12}, {0, 22}};
+
+constexpr i32 partRadius[5] = {7, 12, 5, 5, 6};
+
+/** Half-width of the region around the body that is rendered with
+ *  the full gaussian model; pixels outside carry sensor noise only
+ *  (they are almost never sampled, and this keeps host-side frame
+ *  synthesis cheap). */
+constexpr i32 renderHalo = 64;
+
+} // namespace
+
+BodytrackWorkload::BodytrackWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+    static const char *names[5] = {"pix_head", "pix_torso", "pix_limb_l",
+                                   "pix_limb_r", "pix_leg"};
+    for (u32 i = 0; i < 5; ++i)
+        sitePixel_[i] = declareSite(names[i], true);
+    sitePartLoad_ = declareSite("particle_state", false);
+    sitePartStore_ = declareSite("particle_store", false);
+    siteWeightStore_ = declareSite("weight_store", false);
+}
+
+std::pair<double, double>
+BodytrackWorkload::truthAt(u32 f) const
+{
+    // Smooth Lissajous-style trajectory inside the frame.
+    const double t = static_cast<double>(f) * 0.22;
+    const double cx =
+        width_ * (0.5 + 0.30 * std::sin(t + 0.7));
+    const double cy =
+        height_ * (0.5 + 0.28 * std::sin(1.4 * t));
+    return {cx, cy};
+}
+
+std::pair<double, double>
+BodytrackWorkload::toCamera(u32 cam, double x, double y) const
+{
+    // Four slightly different affine views of the scene, as if from
+    // four calibrated cameras around the capture volume.
+    static const double scale_x[cameras] = {1.00, 0.94, 1.05, 0.97};
+    static const double scale_y[cameras] = {1.00, 1.04, 0.95, 1.02};
+    static const double off_x[cameras] = {0.0, 9.0, -12.0, 5.0};
+    static const double off_y[cameras] = {0.0, -7.0, 6.0, -11.0};
+    const double cx = width_ / 2.0;
+    const double cy = height_ / 2.0;
+    return {cx + (x - cx) * scale_x[cam] + off_x[cam],
+            cy + (y - cy) * scale_y[cam] + off_y[cam]};
+}
+
+void
+BodytrackWorkload::renderFrame(u32 f)
+{
+    const auto [tx, ty] = truthAt(f);
+
+    for (u32 cam = 0; cam < cameras; ++cam) {
+        const u64 noise_seed =
+            mix64(params_.seed * 131 + f) ^ (0xb0d17ac4UL + cam);
+        const auto [cx, cy] = toCamera(cam, tx, ty);
+
+        auto noise_at = [&](u32 x, u32 y) {
+            return static_cast<i32>(
+                       mix64(noise_seed ^
+                             (static_cast<u64>(x) << 24) ^ y) % 21) -
+                   10;
+        };
+
+        // Cheap pass: sensor noise everywhere.
+        for (u32 y = 0; y < height_; ++y)
+            for (u32 x = 0; x < width_; ++x)
+                image_[cam].raw(static_cast<u64>(y) * width_ + x) =
+                    std::clamp(noise_at(x, y) + 8, 0, 255);
+
+        // Full gaussian body model near the body only.
+        const i32 x0 = std::max(0, static_cast<i32>(cx) - renderHalo);
+        const i32 y0 = std::max(0, static_cast<i32>(cy) - renderHalo);
+        const i32 x1 = std::min(static_cast<i32>(width_) - 1,
+                                static_cast<i32>(cx) + renderHalo);
+        const i32 y1 = std::min(static_cast<i32>(height_) - 1,
+                                static_cast<i32>(cy) + renderHalo);
+        for (i32 y = y0; y <= y1; ++y) {
+            for (i32 x = x0; x <= x1; ++x) {
+                double best = 0.0;
+                for (u32 part = 0; part < 5; ++part) {
+                    const double px = cx + partOffset[part][0];
+                    const double py = cy + partOffset[part][1];
+                    const double dx = x - px;
+                    const double dy = y - py;
+                    const double r = partRadius[part] * 2.2;
+                    const double v = 220.0 *
+                        std::exp(-(dx * dx + dy * dy) / (r * r));
+                    best = std::max(best, v);
+                }
+                const i32 pix = static_cast<i32>(best) +
+                                noise_at(static_cast<u32>(x),
+                                         static_cast<u32>(y));
+                image_[cam].raw(static_cast<u64>(y) * width_ +
+                                static_cast<u64>(x)) =
+                    std::clamp(pix, 0, 255);
+            }
+        }
+    }
+}
+
+void
+BodytrackWorkload::generate()
+{
+    width_ = 256;
+    height_ = 256;
+    frames_ = static_cast<u32>(params_.scaled(12, 3));
+    particles_ = static_cast<u32>(params_.scaled(192, 24));
+    layers_ = 3;
+
+    for (u32 cam = 0; cam < cameras; ++cam)
+        image_[cam].init(arena_, static_cast<u64>(width_) * height_,
+                         true);
+    partX_.init(arena_, particles_, false);
+    partY_.init(arena_, particles_, false);
+    weight_.init(arena_, particles_, false);
+}
+
+void
+BodytrackWorkload::run(MemoryBackend &mem)
+{
+    lva_assert(width_ > 0, "generate() must run first");
+    track_.clear();
+
+    Rng filter_rng(mix64(params_.seed) ^ 0x7ac4e25UL);
+
+    // Initialize particles around the first-frame truth.
+    const auto [x0, y0] = truthAt(0);
+    for (u32 p = 0; p < particles_; ++p) {
+        partX_.raw(p) =
+            static_cast<float>(x0 + filter_rng.gaussian() * 6.0);
+        partY_.raw(p) =
+            static_cast<float>(y0 + filter_rng.gaussian() * 6.0);
+    }
+
+    std::vector<float> new_x(particles_);
+    std::vector<float> new_y(particles_);
+
+    for (u32 f = 0; f < frames_; ++f) {
+        renderFrame(f);
+
+        double sigma = 10.0;
+        for (u32 layer = 0; layer < layers_; ++layer) {
+            // --- Weight every particle by multi-camera likelihood. --
+            double weight_sum = 0.0;
+            for (u32 p = 0; p < particles_; ++p) {
+                const ThreadId tid = threadOf(p);
+                const float px =
+                    partX_.loadPrecise(mem, tid, sitePartLoad_, p);
+                const float py =
+                    partY_.loadPrecise(mem, tid, sitePartLoad_, p);
+
+                // Squared error between sampled pixels and the body
+                // template at each sample point, summed over all
+                // camera views (the paper's error calculations "in
+                // long loops").
+                double err_sum = 0.0;
+                for (u32 cam = 0; cam < cameras; ++cam) {
+                    const auto [hx, hy] = toCamera(cam, px, py);
+                    for (u32 part = 0; part < 5; ++part) {
+                        for (i32 sy = -1; sy <= 1; ++sy) {
+                            for (i32 sx = -1; sx <= 1; ++sx) {
+                                const i32 ix =
+                                    static_cast<i32>(hx) +
+                                    partOffset[part][0] + sx * 3;
+                                const i32 iy =
+                                    static_cast<i32>(hy) +
+                                    partOffset[part][1] + sy * 3;
+                                i32 pix = 0;
+                                if (ix >= 0 && iy >= 0 &&
+                                    ix < static_cast<i32>(width_) &&
+                                    iy < static_cast<i32>(height_)) {
+                                    pix = static_cast<i32>(
+                                        image_[cam].load(
+                                            mem, tid,
+                                            sitePixel_[part],
+                                            static_cast<u64>(iy) *
+                                                    width_ +
+                                                static_cast<u64>(
+                                                    ix)));
+                                    pix = std::clamp(pix, 0, 255);
+                                }
+                                const double r =
+                                    partRadius[part] * 2.2;
+                                const double d2 =
+                                    9.0 * (sx * sx + sy * sy);
+                                const double expected =
+                                    220.0 *
+                                    std::exp(-d2 / (r * r));
+                                const double diff = pix - expected;
+                                err_sum += diff * diff;
+                            }
+                        }
+                    }
+                }
+                // The sampling loops above are tight unrolled
+                // kernels: their arithmetic is accounted in one batch
+                // so the pixel loads stay back-to-back (high MLP), as
+                // in the real vectorized likelihood code.
+                mem.tickInstructions(tid,
+                                     cameras * 45 * instrPerSample);
+                // Store and accumulate the float-precision weight so
+                // the degeneracy guard sees exactly what resampling
+                // will read (doubles would hide float underflow).
+                const float w = static_cast<float>(
+                    std::exp(-err_sum / (6000.0 * cameras)));
+                weight_.store(mem, tid, siteWeightStore_, p, w);
+                weight_sum += w;
+                mem.tickInstructions(tid, instrPerParticle);
+            }
+
+            // Degeneracy guard: if every weight underflowed (all
+            // samples wildly off under heavy approximation), fall
+            // back to uniform weights rather than dividing by zero.
+            if (!(weight_sum > 1e-300) || !std::isfinite(weight_sum)) {
+                for (u32 p = 0; p < particles_; ++p)
+                    weight_.raw(p) = 1.0f;
+                weight_sum = static_cast<double>(particles_);
+            }
+
+            // --- Systematic resampling + annealed diffusion. ---
+            const double step =
+                weight_sum / static_cast<double>(particles_);
+            double cursor = filter_rng.uniform() * step;
+            double acc = 0.0;
+            u32 src = 0;
+            for (u32 p = 0; p < particles_; ++p) {
+                while (acc + weight_.raw(src) < cursor &&
+                       src + 1 < particles_) {
+                    acc += weight_.raw(src);
+                    ++src;
+                }
+                new_x[p] = partX_.raw(src) +
+                           static_cast<float>(
+                               filter_rng.gaussian() * sigma);
+                new_y[p] = partY_.raw(src) +
+                           static_cast<float>(
+                               filter_rng.gaussian() * sigma);
+                cursor += step;
+            }
+            for (u32 p = 0; p < particles_; ++p) {
+                const ThreadId tid = threadOf(p);
+                partX_.store(mem, tid, sitePartStore_, p,
+                             std::clamp(new_x[p], 0.0f,
+                                        static_cast<float>(width_ - 1)));
+                partY_.store(mem, tid, sitePartStore_, p,
+                             std::clamp(new_y[p], 0.0f,
+                                        static_cast<float>(height_ -
+                                                           1)));
+            }
+            sigma *= 0.55; // anneal
+        }
+
+        // --- Estimate: weighted mean of the final layer. ---
+        double wx = 0.0;
+        double wy = 0.0;
+        double wsum = 0.0;
+        for (u32 p = 0; p < particles_; ++p) {
+            const double w = weight_.raw(p);
+            wx += w * partX_.raw(p);
+            wy += w * partY_.raw(p);
+            wsum += w;
+        }
+        track_.emplace_back(wx / wsum, wy / wsum);
+    }
+    mem.finish();
+}
+
+GrayImage
+BodytrackWorkload::renderTrack() const
+{
+    lva_assert(!track_.empty(), "run() must complete first");
+    GrayImage img(width_, height_, 0);
+    // Background: camera 0's final likelihood map.
+    for (u32 y = 0; y < height_; ++y)
+        for (u32 x = 0; x < width_; ++x)
+            img.set(x, y,
+                    static_cast<u8>(
+                        image_[0].raw(static_cast<u64>(y) * width_ +
+                                      x) / 2));
+    // Estimated positions: skeleton discs + trajectory line.
+    for (std::size_t f = 0; f < track_.size(); ++f) {
+        const auto [ex, ey] = track_[f];
+        if (f + 1 == track_.size()) {
+            for (u32 part = 0; part < 5; ++part) {
+                img.fillCircle(static_cast<i32>(ex) + partOffset[part][0],
+                               static_cast<i32>(ey) + partOffset[part][1],
+                               partRadius[part], 255);
+            }
+        } else {
+            const auto [nx, ny] = track_[f + 1];
+            img.drawLine(static_cast<i32>(ex), static_cast<i32>(ey),
+                         static_cast<i32>(nx), static_cast<i32>(ny),
+                         200);
+        }
+    }
+    return img;
+}
+
+double
+BodytrackWorkload::outputErrorVs(const Workload &golden) const
+{
+    const auto &ref = dynamic_cast<const BodytrackWorkload &>(golden);
+    lva_assert(ref.track_.size() == track_.size(),
+               "golden run has different frame count");
+    lva_assert(!track_.empty(), "run() must complete first");
+
+    // Mean pair-wise vector distance, normalized by the image diagonal.
+    const double diag = std::sqrt(
+        static_cast<double>(width_) * width_ +
+        static_cast<double>(height_) * height_);
+    double sum = 0.0;
+    for (std::size_t f = 0; f < track_.size(); ++f) {
+        const double dx = track_[f].first - ref.track_[f].first;
+        const double dy = track_[f].second - ref.track_[f].second;
+        sum += std::sqrt(dx * dx + dy * dy);
+    }
+    return sum / (static_cast<double>(track_.size()) * diag);
+}
+
+} // namespace lva

@@ -1,0 +1,173 @@
+#include "workloads/canneal.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+/** Annealing schedule: multiplicative cooling applied per batch. */
+constexpr double initialTemp = 800.0;
+constexpr double coolingRate = 0.95;
+constexpr u64 stepsPerBatch = 1024;
+
+/** Non-memory instructions per swap evaluation (cost arithmetic,
+ *  accept test, temperature bookkeeping). */
+constexpr u64 instrPerSwap = 1800;
+
+} // namespace
+
+CannealWorkload::CannealWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+    siteSelfX_ = declareSite("self_x", true);
+    siteSelfY_ = declareSite("self_y", true);
+    siteNet_ = declareSite("net_index", false);
+    siteNbrX_ = declareSite("neighbor_x", true);
+    siteNbrY_ = declareSite("neighbor_y", true);
+    siteStoreX_ = declareSite("swap_store_x", false);
+    siteStoreY_ = declareSite("swap_store_y", false);
+}
+
+void
+CannealWorkload::generate()
+{
+    numElements_ = params_.scaled(65536, 256);
+    steps_ = params_.scaled(40000, 512);
+    fanout_ = 5;
+    gridDim_ = static_cast<i32>(
+        std::ceil(std::sqrt(static_cast<double>(numElements_))));
+
+    posX_.init(arena_, numElements_, true);
+    posY_.init(arena_, numElements_, true);
+    nets_.init(arena_, numElements_ * fanout_, false);
+
+    Rng rng(mix64(params_.seed) ^ 0xca22ea1UL);
+
+    for (u64 e = 0; e < numElements_; ++e) {
+        posX_.raw(e) = static_cast<i32>(rng.below(gridDim_));
+        posY_.raw(e) = static_cast<i32>(rng.below(gridDim_));
+        for (u32 f = 0; f < fanout_; ++f) {
+            // Mild locality in the netlist: most nets connect to a
+            // nearby element id, some are global.
+            u64 nbr;
+            if (rng.chance(0.7)) {
+                const i64 span = 512;
+                i64 cand = static_cast<i64>(e) + rng.range(-span, span);
+                cand = std::max<i64>(
+                    0, std::min<i64>(cand,
+                                     static_cast<i64>(numElements_) - 1));
+                nbr = static_cast<u64>(cand);
+            } else {
+                nbr = rng.below(numElements_);
+            }
+            nets_.raw(e * fanout_ + f) = static_cast<i32>(nbr);
+        }
+    }
+}
+
+i64
+CannealWorkload::modelledCost(MemoryBackend &mem, ThreadId tid, u64 e,
+                              i32 x, i32 y)
+{
+    i64 cost = 0;
+    for (u32 f = 0; f < fanout_; ++f) {
+        const auto nbr = static_cast<u64>(
+            nets_.loadPrecise(mem, tid, siteNet_, e * fanout_ + f));
+        // Pointer chase: the coordinate addresses are produced by the
+        // net-index load above.
+        const i32 nx = static_cast<i32>(
+            posX_.load(mem, tid, siteNbrX_, nbr, /*dependent=*/true));
+        const i32 ny =
+            static_cast<i32>(posY_.load(mem, tid, siteNbrY_, nbr));
+        cost += std::abs(static_cast<i64>(x) - nx) +
+                std::abs(static_cast<i64>(y) - ny);
+    }
+    return cost;
+}
+
+double
+CannealWorkload::hostCostOf(u64 e) const
+{
+    double cost = 0.0;
+    for (u32 f = 0; f < fanout_; ++f) {
+        const auto nbr =
+            static_cast<u64>(nets_.raw(e * fanout_ + f));
+        cost += std::abs(posX_.raw(e) - posX_.raw(nbr)) +
+                std::abs(posY_.raw(e) - posY_.raw(nbr));
+    }
+    return cost;
+}
+
+void
+CannealWorkload::run(MemoryBackend &mem)
+{
+    lva_assert(numElements_ > 0, "generate() must run first");
+
+    // The proposal stream is independent of data values so that precise
+    // and approximate runs face identical swap candidates; acceptance
+    // (which reads possibly-approximated coordinates) may diverge.
+    Rng proposals(mix64(params_.seed) ^ 0x900d1dea5UL);
+    double temp = initialTemp;
+    accepted_ = 0;
+
+    for (u64 step = 0; step < steps_; ++step) {
+        const ThreadId tid = threadOf(step);
+        const u64 a = proposals.below(numElements_);
+        u64 b = proposals.below(numElements_);
+        if (b == a)
+            b = (b + 1) % numElements_;
+        const double accept_draw = proposals.uniform();
+
+        const i32 ax =
+            static_cast<i32>(posX_.load(mem, tid, siteSelfX_, a));
+        const i32 ay =
+            static_cast<i32>(posY_.load(mem, tid, siteSelfY_, a));
+        const i32 bx =
+            static_cast<i32>(posX_.load(mem, tid, siteSelfX_, b));
+        const i32 by =
+            static_cast<i32>(posY_.load(mem, tid, siteSelfY_, b));
+
+        const i64 cost_now = modelledCost(mem, tid, a, ax, ay) +
+                             modelledCost(mem, tid, b, bx, by);
+        const i64 cost_swapped = modelledCost(mem, tid, a, bx, by) +
+                                 modelledCost(mem, tid, b, ax, ay);
+        const i64 delta = cost_swapped - cost_now;
+
+        const bool accept =
+            delta < 0 ||
+            accept_draw <
+                std::exp(-static_cast<double>(delta) / temp);
+        if (accept) {
+            ++accepted_;
+            // Swap the two placements (host truth + modelled stores).
+            posX_.store(mem, tid, siteStoreX_, a, bx);
+            posY_.store(mem, tid, siteStoreY_, a, by);
+            posX_.store(mem, tid, siteStoreX_, b, ax);
+            posY_.store(mem, tid, siteStoreY_, b, ay);
+        }
+        mem.tickInstructions(tid, instrPerSwap);
+
+        if ((step + 1) % stepsPerBatch == 0)
+            temp *= coolingRate;
+    }
+    mem.finish();
+
+    // Final routing cost, computed precisely over the final placement.
+    finalCost_ = 0.0;
+    for (u64 e = 0; e < numElements_; ++e)
+        finalCost_ += hostCostOf(e);
+}
+
+double
+CannealWorkload::outputErrorVs(const Workload &golden) const
+{
+    const auto &ref = dynamic_cast<const CannealWorkload &>(golden);
+    lva_assert(ref.finalCost_ > 0.0, "golden run() must complete first");
+    return relativeError(finalCost_, ref.finalCost_);
+}
+
+} // namespace lva

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Mini-canneal: simulated-annealing placement of netlist elements on a
+ * 2D grid. Swap candidates are evaluated by a routing-cost function
+ * over each element's fan-in/fan-out neighbours; only the integer
+ * <x, y> coordinate loads inside the cost function are annotated
+ * approximable (paper section IV). Neighbour index lists are pointers
+ * and stay precise. Random placement over a large element array gives
+ * the highest MPKI of the suite (Table I: 12.50).
+ *
+ * Output error metric: relative difference between the final routing
+ * cost of the approximate and precise executions.
+ */
+
+#ifndef LVA_WORKLOADS_CANNEAL_HH
+#define LVA_WORKLOADS_CANNEAL_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class CannealWorkload : public Workload
+{
+  public:
+    explicit CannealWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "canneal"; }
+    ValueKind approxKind() const override { return ValueKind::Int64; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    /** Final routing cost, recomputed precisely from host data. */
+    double finalCost() const { return finalCost_; }
+
+    u64 swapsAccepted() const { return accepted_; }
+
+  private:
+    /** Precise routing cost of element @p e at its current position. */
+    double hostCostOf(u64 e) const;
+
+    /** Modelled half-perimeter cost of element @p e if placed at
+     *  (x, y); issues annotated coordinate loads. */
+    i64 modelledCost(MemoryBackend &mem, ThreadId tid, u64 e, i32 x,
+                     i32 y);
+
+    u64 numElements_ = 0;
+    u64 steps_ = 0;
+    u32 fanout_ = 0;
+    i32 gridDim_ = 0;
+
+    Region<i32> posX_; ///< approximable in the cost function
+    Region<i32> posY_; ///< approximable in the cost function
+    Region<i32> nets_; ///< flattened neighbour indices (precise)
+
+    double finalCost_ = 0.0;
+    u64 accepted_ = 0;
+
+    LoadSiteId siteSelfX_, siteSelfY_, siteNet_, siteNbrX_, siteNbrY_,
+        siteStoreX_, siteStoreY_;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_CANNEAL_HH

@@ -1,0 +1,145 @@
+#include "workloads/ferret.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+/** Non-memory instructions per candidate vector: distance arithmetic
+ *  plus the per-segment share of the wider ferret pipeline
+ *  (segmentation, indexing) that the mini-kernel does not model. */
+constexpr u64 instrPerVector = 290;
+
+} // namespace
+
+FerretWorkload::FerretWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+    siteDb_ = declareSite("db_feature", true);
+    siteQuery_ = declareSite("query_feature", false);
+}
+
+void
+FerretWorkload::generate()
+{
+    dbSize_ = params_.scaled(8192, 128);
+    numQueries_ = params_.scaled(8, 2);
+    numClusters_ = 64;
+
+    db_.init(arena_, dbSize_ * dims, true);
+    queries_.init(arena_, numQueries_ * dims, false);
+
+    Rng rng(mix64(params_.seed) ^ 0xfe22e7UL);
+
+    // Clustered feature space: DB vectors are cluster centres plus
+    // noise, queries are perturbed members, so top-K sets are
+    // meaningful and similar features recur (value locality). Centres
+    // follow a per-cluster random walk across dimensions, giving the
+    // correlated adjacent bins of real histogram-style descriptors.
+    std::vector<float> centres(numClusters_ * dims);
+    for (u32 c = 0; c < numClusters_; ++c) {
+        double level = rng.uniform(2.0, 6.0);
+        for (u32 d = 0; d < dims; ++d) {
+            level += rng.gaussian() * 0.18;
+            level = std::clamp(level, 0.5, 8.0);
+            centres[c * dims + d] = static_cast<float>(
+                std::round(level * 16.0) / 16.0);
+        }
+    }
+
+    // The database is stored mostly cluster-major, as ferret's indexed
+    // image database keeps similar segments together — the source of
+    // the approximate value locality LVA exploits here — with a
+    // fraction of out-of-place segments, as in any real collection.
+    for (u64 v = 0; v < dbSize_; ++v) {
+        const u32 c = rng.chance(0.25)
+                          ? static_cast<u32>(rng.below(numClusters_))
+                          : static_cast<u32>(
+                                (v * numClusters_) / dbSize_);
+        for (u32 d = 0; d < dims; ++d) {
+            const float noise = static_cast<float>(
+                std::round(rng.gaussian() * 0.15 * 16.0) / 16.0);
+            db_.raw(v * dims + d) = centres[c * dims + d] + noise;
+        }
+    }
+    for (u64 q = 0; q < numQueries_; ++q) {
+        const u64 v = rng.below(dbSize_);
+        for (u32 d = 0; d < dims; ++d) {
+            queries_.raw(q * dims + d) =
+                db_.raw(v * dims + d) +
+                static_cast<float>(rng.gaussian() * 0.05);
+        }
+    }
+}
+
+void
+FerretWorkload::run(MemoryBackend &mem)
+{
+    lva_assert(dbSize_ > 0, "generate() must run first");
+    results_.assign(numQueries_, {});
+
+    for (u64 q = 0; q < numQueries_; ++q) {
+        const ThreadId tid = threadOf(q);
+
+        // The small query vector is read precisely once per query and
+        // kept in registers across the candidate scan.
+        float qvec[dims];
+        for (u32 d = 0; d < dims; ++d)
+            qvec[d] =
+                queries_.loadPrecise(mem, tid, siteQuery_, q * dims + d);
+
+        std::vector<std::pair<float, u32>> ranked;
+        ranked.reserve(dbSize_);
+
+        for (u64 v = 0; v < dbSize_; ++v) {
+            float dist2 = 0.0f;
+            for (u32 d = 0; d < dims; ++d) {
+                const float feat =
+                    db_.load(mem, tid, siteDb_, v * dims + d);
+                const float diff = qvec[d] - feat;
+                dist2 += diff * diff;
+            }
+            ranked.emplace_back(dist2, static_cast<u32>(v));
+            mem.tickInstructions(tid, instrPerVector);
+        }
+
+        std::partial_sort(ranked.begin(), ranked.begin() + topK,
+                          ranked.end());
+        auto &out = results_[q];
+        out.reserve(topK);
+        for (u32 k = 0; k < topK; ++k)
+            out.push_back(ranked[k].second);
+    }
+    mem.finish();
+}
+
+double
+FerretWorkload::outputErrorVs(const Workload &golden) const
+{
+    const auto &ref = dynamic_cast<const FerretWorkload &>(golden);
+    lva_assert(ref.results_.size() == results_.size(),
+               "golden run has different query count");
+    lva_assert(!results_.empty(), "run() must complete first");
+
+    double error_sum = 0.0;
+    for (std::size_t q = 0; q < results_.size(); ++q) {
+        u32 overlap = 0;
+        for (u32 id : results_[q]) {
+            for (u32 ref_id : ref.results_[q]) {
+                if (id == ref_id) {
+                    ++overlap;
+                    break;
+                }
+            }
+        }
+        error_sum += 1.0 - static_cast<double>(overlap) /
+                               static_cast<double>(topK);
+    }
+    return error_sum / static_cast<double>(results_.size());
+}
+
+} // namespace lva

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Mini-ferret: content-based image similarity search. A database of
+ * per-segment feature vectors is ranked by L2 distance against query
+ * vectors; the database feature-vector loads are annotated approximable
+ * (paper section IV). Streaming the database gives ferret its mid-range
+ * MPKI (Table I: 3.28).
+ *
+ * Output error metric: 1 - |approx top-K  ∩  precise top-K| / K,
+ * averaged over queries — the paper's (conservative) intersection
+ * metric.
+ */
+
+#ifndef LVA_WORKLOADS_FERRET_HH
+#define LVA_WORKLOADS_FERRET_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class FerretWorkload : public Workload
+{
+  public:
+    explicit FerretWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "ferret"; }
+    ValueKind approxKind() const override { return ValueKind::Float32; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    /** Ranked result ids, one vector of K per query. */
+    const std::vector<std::vector<u32>> &results() const
+    {
+        return results_;
+    }
+
+    static constexpr u32 dims = 16; ///< feature dimensions per segment
+    static constexpr u32 topK = 10; ///< results returned per query
+
+  private:
+    u64 dbSize_ = 0;
+    u64 numQueries_ = 0;
+    u32 numClusters_ = 0;
+
+    Region<float> db_;      ///< flattened DB vectors (approximable)
+    Region<float> queries_; ///< flattened query vectors (precise)
+
+    std::vector<std::vector<u32>> results_;
+
+    LoadSiteId siteDb_, siteQuery_;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_FERRET_HH

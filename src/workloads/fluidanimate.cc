@@ -1,0 +1,327 @@
+#include "workloads/fluidanimate.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+constexpr float restDensity = 1.0f;
+constexpr float stiffness = 1.5f;
+constexpr float timeStep = 0.04f;
+
+/** Non-memory instructions per neighbour interaction. */
+constexpr u64 instrPerPair = 12;
+
+/** Per-particle bookkeeping per phase. */
+constexpr u64 instrPerParticle = 30;
+
+} // namespace
+
+FluidanimateWorkload::FluidanimateWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+    siteBinX_ = declareSite("bin_pos_x", false);
+    siteBinY_ = declareSite("bin_pos_y", false);
+    siteCellCount_ = declareSite("cell_count", false);
+    siteCellIdx_ = declareSite("cell_index", false);
+    siteDenX_ = declareSite("density_nbr_x", true);
+    siteDenY_ = declareSite("density_nbr_y", true);
+    siteForX_ = declareSite("force_nbr_x", true);
+    siteForY_ = declareSite("force_nbr_y", true);
+    siteForDen_ = declareSite("force_nbr_density", true);
+    siteVelLoad_ = declareSite("velocity", false);
+    siteStorePos_ = declareSite("pos_store", false);
+    siteStoreVel_ = declareSite("vel_store", false);
+    siteStoreDen_ = declareSite("density_store", false);
+}
+
+u32
+FluidanimateWorkload::cellIndexOf(float x, float y) const
+{
+    const float clamped_x =
+        std::clamp(x, 0.0f, domain_ - 1e-4f);
+    const float clamped_y =
+        std::clamp(y, 0.0f, domain_ - 1e-4f);
+    const u32 cx = static_cast<u32>(clamped_x / h_);
+    const u32 cy = static_cast<u32>(clamped_y / h_);
+    return cy * cellsPerSide_ + cx;
+}
+
+void
+FluidanimateWorkload::generate()
+{
+    numParticles_ = params_.scaled(8192, 128);
+    steps_ = 5;
+    cellsPerSide_ = 48;
+    h_ = 1.0f;
+    domain_ = h_ * static_cast<float>(cellsPerSide_);
+
+    posX_.init(arena_, numParticles_, true);
+    posY_.init(arena_, numParticles_, true);
+    velX_.init(arena_, numParticles_, false);
+    velY_.init(arena_, numParticles_, false);
+    density_.init(arena_, numParticles_, true);
+    cellIdx_.init(arena_,
+                  static_cast<u64>(cellsPerSide_) * cellsPerSide_ *
+                      maxPerCell,
+                  false);
+    cellCount_.init(arena_,
+                    static_cast<u64>(cellsPerSide_) * cellsPerSide_,
+                    false);
+
+    Rng rng(mix64(params_.seed) ^ 0xf1a1d0UL);
+
+    // A dam-break style column of fluid in the left third of the box.
+    for (u64 p = 0; p < numParticles_; ++p) {
+        posX_.raw(p) =
+            static_cast<float>(rng.uniform(0.0, domain_ / 3.0));
+        posY_.raw(p) =
+            static_cast<float>(rng.uniform(0.0, domain_ * 0.8));
+        velX_.raw(p) = 0.0f;
+        velY_.raw(p) = 0.0f;
+        density_.raw(p) = restDensity;
+    }
+    origId_.resize(numParticles_);
+    for (u64 p = 0; p < numParticles_; ++p)
+        origId_[p] = static_cast<u32>(p);
+}
+
+void
+FluidanimateWorkload::reorderAndBin(MemoryBackend &mem)
+{
+    const u32 num_cells = cellsPerSide_ * cellsPerSide_;
+
+    // Stable counting sort of particle slots by cell index. The cell
+    // of each particle is computed from precise position loads (the
+    // paper annotates positions only inside the density/force loops).
+    std::vector<u32> cell_of(numParticles_);
+    std::vector<u32> perm(numParticles_);
+    for (u64 p = 0; p < numParticles_; ++p) {
+        const ThreadId tid = threadOf(p);
+        const float x = posX_.loadPrecise(mem, tid, siteBinX_, p);
+        const float y = posY_.loadPrecise(mem, tid, siteBinY_, p);
+        cell_of[p] = cellIndexOf(x, y);
+        mem.tickInstructions(tid, instrPerParticle / 3);
+    }
+    std::vector<u32> start(num_cells + 1, 0);
+    for (u64 p = 0; p < numParticles_; ++p)
+        ++start[cell_of[p] + 1];
+    for (u32 c = 0; c < num_cells; ++c)
+        start[c + 1] += start[c];
+    std::vector<u32> cursor = start;
+    for (u64 p = 0; p < numParticles_; ++p)
+        perm[cursor[cell_of[p]]++] = static_cast<u32>(p);
+
+    // Apply the permutation: one modelled load+store pair per particle
+    // slot, as the real benchmark migrates particles between cells.
+    auto apply = [&](auto &region, LoadSiteId load_site,
+                     LoadSiteId store_site) {
+        using Elem = std::decay_t<decltype(region.raw(0))>;
+        std::vector<Elem> tmp(numParticles_);
+        for (u64 i = 0; i < numParticles_; ++i) {
+            const ThreadId tid = threadOf(i);
+            tmp[i] = region.loadPrecise(mem, tid, load_site, perm[i]);
+        }
+        for (u64 i = 0; i < numParticles_; ++i)
+            region.raw(i) = tmp[i];
+        for (u64 i = 0; i < numParticles_; ++i)
+            mem.store(threadOf(i), store_site, region.addrOf(i));
+    };
+    apply(posX_, siteBinX_, siteStorePos_);
+    apply(posY_, siteBinY_, siteStorePos_);
+    apply(velX_, siteVelLoad_, siteStoreVel_);
+    apply(velY_, siteVelLoad_, siteStoreVel_);
+    apply(density_, siteVelLoad_, siteStoreDen_);
+
+    std::vector<u32> ids(numParticles_);
+    for (u64 i = 0; i < numParticles_; ++i)
+        ids[i] = origId_[perm[i]];
+    origId_ = std::move(ids);
+
+    // Rebuild the per-cell particle lists over the sorted slots.
+    for (u32 c = 0; c < num_cells; ++c)
+        cellCount_.raw(c) = 0;
+    for (u64 p = 0; p < numParticles_; ++p) {
+        const u32 cell = cell_of[perm[p]];
+        i32 &count = cellCount_.raw(cell);
+        if (count < static_cast<i32>(maxPerCell)) {
+            cellIdx_.raw(static_cast<u64>(cell) * maxPerCell +
+                         static_cast<u64>(count)) =
+                static_cast<i32>(p);
+            ++count;
+        }
+    }
+}
+
+void
+FluidanimateWorkload::run(MemoryBackend &mem)
+{
+    lva_assert(numParticles_ > 0, "generate() must run first");
+    const u32 num_cells = cellsPerSide_ * cellsPerSide_;
+
+    (void)num_cells;
+    for (u32 step = 0; step < steps_; ++step) {
+        // --- Phase 1: cell-major reorder + binning (precise loads). --
+        reorderAndBin(mem);
+
+        // --- Phase 2: density from neighbouring cells (approx loads).
+        for (u64 p = 0; p < numParticles_; ++p) {
+            const ThreadId tid = threadOf(p);
+            const float px = posX_.raw(p);
+            const float py = posY_.raw(p);
+            const u32 home = cellIndexOf(px, py);
+            const i32 hx = static_cast<i32>(home % cellsPerSide_);
+            const i32 hy = static_cast<i32>(home / cellsPerSide_);
+
+            float den = 0.0f;
+            for (i32 dy = -1; dy <= 1; ++dy) {
+                for (i32 dx = -1; dx <= 1; ++dx) {
+                    const i32 cx = hx + dx;
+                    const i32 cy = hy + dy;
+                    if (cx < 0 || cy < 0 ||
+                        cx >= static_cast<i32>(cellsPerSide_) ||
+                        cy >= static_cast<i32>(cellsPerSide_))
+                        continue;
+                    const u32 cell =
+                        static_cast<u32>(cy) * cellsPerSide_ +
+                        static_cast<u32>(cx);
+                    const i32 count = cellCount_.loadPrecise(
+                        mem, tid, siteCellCount_, cell);
+                    for (i32 k = 0; k < count; ++k) {
+                        const auto q = static_cast<u64>(
+                            cellIdx_.loadPrecise(
+                                mem, tid, siteCellIdx_,
+                                static_cast<u64>(cell) * maxPerCell +
+                                    static_cast<u64>(k)));
+                        // Pointer chase: addresses come from the
+                        // cell-list index load above.
+                        const float qx = posX_.load(
+                            mem, tid, siteDenX_, q, /*dependent=*/true);
+                        const float qy =
+                            posY_.load(mem, tid, siteDenY_, q);
+                        const float r2 = (px - qx) * (px - qx) +
+                                         (py - qy) * (py - qy);
+                        if (r2 < h_ * h_) {
+                            const float w = h_ * h_ - r2;
+                            den += w * w * w;
+                        }
+                        mem.tickInstructions(tid, instrPerPair);
+                    }
+                }
+            }
+            density_.store(mem, tid, siteStoreDen_, p, den);
+            mem.tickInstructions(tid, instrPerParticle);
+        }
+
+        // --- Phase 3: pressure forces + integration (approx loads). --
+        for (u64 p = 0; p < numParticles_; ++p) {
+            const ThreadId tid = threadOf(p);
+            const float px = posX_.raw(p);
+            const float py = posY_.raw(p);
+            const float pden = density_.raw(p);
+            const u32 home = cellIndexOf(px, py);
+            const i32 hx = static_cast<i32>(home % cellsPerSide_);
+            const i32 hy = static_cast<i32>(home / cellsPerSide_);
+
+            float ax = 0.0f;
+            float ay = -0.35f; // gravity
+            for (i32 dy = -1; dy <= 1; ++dy) {
+                for (i32 dx = -1; dx <= 1; ++dx) {
+                    const i32 cx = hx + dx;
+                    const i32 cy = hy + dy;
+                    if (cx < 0 || cy < 0 ||
+                        cx >= static_cast<i32>(cellsPerSide_) ||
+                        cy >= static_cast<i32>(cellsPerSide_))
+                        continue;
+                    const u32 cell =
+                        static_cast<u32>(cy) * cellsPerSide_ +
+                        static_cast<u32>(cx);
+                    const i32 count = cellCount_.loadPrecise(
+                        mem, tid, siteCellCount_, cell);
+                    for (i32 k = 0; k < count; ++k) {
+                        const auto q = static_cast<u64>(
+                            cellIdx_.loadPrecise(
+                                mem, tid, siteCellIdx_,
+                                static_cast<u64>(cell) * maxPerCell +
+                                    static_cast<u64>(k)));
+                        if (q == p)
+                            continue;
+                        const float qx = posX_.load(
+                            mem, tid, siteForX_, q, /*dependent=*/true);
+                        const float qy =
+                            posY_.load(mem, tid, siteForY_, q);
+                        const float qden =
+                            density_.load(mem, tid, siteForDen_, q);
+                        const float rx = px - qx;
+                        const float ry = py - qy;
+                        const float r2 = rx * rx + ry * ry;
+                        if (r2 < h_ * h_ && r2 > 1e-8f) {
+                            const float r = std::sqrt(r2);
+                            const float pressure =
+                                stiffness *
+                                ((pden - restDensity) +
+                                 (qden - restDensity));
+                            const float mag =
+                                pressure * (h_ - r) / (r * 2.0f);
+                            ax += mag * rx;
+                            ay += mag * ry;
+                        }
+                        mem.tickInstructions(tid, instrPerPair);
+                    }
+                }
+            }
+
+            // Integrate (precise loads/stores of velocity/position).
+            float vx = velX_.loadPrecise(mem, tid, siteVelLoad_, p);
+            float vy = velY_.loadPrecise(mem, tid, siteVelLoad_, p);
+            vx = (vx + ax * timeStep) * 0.995f;
+            vy = (vy + ay * timeStep) * 0.995f;
+            float nx = px + vx * timeStep;
+            float ny = py + vy * timeStep;
+            // Reflecting boundaries.
+            if (nx < 0.0f) { nx = -nx; vx = -vx * 0.5f; }
+            if (ny < 0.0f) { ny = -ny; vy = -vy * 0.5f; }
+            if (nx >= domain_) { nx = 2.0f * domain_ - nx - 1e-3f;
+                                 vx = -vx * 0.5f; }
+            if (ny >= domain_) { ny = 2.0f * domain_ - ny - 1e-3f;
+                                 vy = -vy * 0.5f; }
+            velX_.store(mem, tid, siteStoreVel_, p, vx);
+            velY_.store(mem, tid, siteStoreVel_, p, vy);
+            posX_.store(mem, tid, siteStorePos_, p, nx);
+            posY_.store(mem, tid, siteStorePos_, p, ny);
+            mem.tickInstructions(tid, instrPerParticle);
+        }
+    }
+    mem.finish();
+}
+
+std::vector<u32>
+FluidanimateWorkload::finalCells() const
+{
+    std::vector<u32> cells(numParticles_);
+    for (u64 p = 0; p < numParticles_; ++p)
+        cells[origId_[p]] = cellIndexOf(posX_.raw(p), posY_.raw(p));
+    return cells;
+}
+
+double
+FluidanimateWorkload::outputErrorVs(const Workload &golden) const
+{
+    const auto &ref = dynamic_cast<const FluidanimateWorkload &>(golden);
+    const auto mine = finalCells();
+    const auto theirs = ref.finalCells();
+    lva_assert(mine.size() == theirs.size(),
+               "golden run has different particle count");
+
+    u64 moved = 0;
+    for (std::size_t p = 0; p < mine.size(); ++p)
+        if (mine[p] != theirs[p])
+            ++moved;
+    return static_cast<double>(moved) / static_cast<double>(mine.size());
+}
+
+} // namespace lva

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mini-fluidanimate: smoothed-particle-hydrodynamics fluid step in 2D.
+ * Particles are binned into grid cells; density and pressure-force
+ * computations iterate neighbouring cells. Particle position and
+ * density loads inside those two hot loops are annotated approximable
+ * (paper section IV); binning and integration read the same arrays
+ * precisely.
+ *
+ * Output error metric: the percentage of particles that end in a
+ * different grid cell than in the precise execution.
+ */
+
+#ifndef LVA_WORKLOADS_FLUIDANIMATE_HH
+#define LVA_WORKLOADS_FLUIDANIMATE_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class FluidanimateWorkload : public Workload
+{
+  public:
+    explicit FluidanimateWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "fluidanimate"; }
+    ValueKind approxKind() const override { return ValueKind::Float32; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    /** Final cell index per particle, keyed by original particle id
+     *  (the arrays are kept in cell-major order internally). */
+    std::vector<u32> finalCells() const;
+
+  private:
+    u32 cellIndexOf(float x, float y) const;
+
+    /**
+     * Re-sort the particle arrays into cell-major order and rebuild
+     * the cell lists, as PARSEC's fluidanimate keeps particles in
+     * per-cell storage. This is what gives the benchmark its locality
+     * (Table I: MPKI 1.23 despite the neighbour gathers).
+     */
+    void reorderAndBin(MemoryBackend &mem);
+
+    u64 numParticles_ = 0;
+    u32 steps_ = 0;
+    u32 cellsPerSide_ = 0;
+    float domain_ = 0.0f;
+    float h_ = 0.0f; ///< smoothing radius == cell side
+
+    Region<float> posX_;    ///< approximable in density/force loops
+    Region<float> posY_;    ///< approximable in density/force loops
+    Region<float> velX_;    ///< precise
+    Region<float> velY_;    ///< precise
+    Region<float> density_; ///< approximable in the force loop
+    Region<i32> cellIdx_;   ///< particle ids flattened by cell (precise)
+    Region<i32> cellCount_; ///< particles per cell (precise)
+
+    std::vector<u32> origId_; ///< original id of each array slot
+
+    LoadSiteId siteBinX_, siteBinY_, siteCellCount_, siteCellIdx_,
+        siteDenX_, siteDenY_, siteForX_, siteForY_, siteForDen_,
+        siteVelLoad_, siteStorePos_, siteStoreVel_, siteStoreDen_;
+
+    static constexpr u32 maxPerCell = 16;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_FLUIDANIMATE_HH

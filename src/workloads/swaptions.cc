@@ -1,0 +1,125 @@
+#include "workloads/swaptions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+/** Non-memory instructions per Monte-Carlo step (path arithmetic). */
+constexpr u64 instrPerStep = 150;
+
+/** Extra per-trial bookkeeping instructions. */
+constexpr u64 instrPerTrial = 40;
+
+} // namespace
+
+SwaptionsWorkload::SwaptionsWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+    siteForward_ = declareSite("forward_curve", true);
+    siteVol_ = declareSite("vol_curve", true);
+    siteStrike_ = declareSite("strike", true);
+    siteMaturity_ = declareSite("maturity", false);
+}
+
+void
+SwaptionsWorkload::generate()
+{
+    numSwaptions_ = params_.scaled(16, 2);
+    trials_ = params_.scaled(1200, 16);
+    tenors_ = 11;
+
+    forward_.init(arena_, tenors_, true);
+    volCurve_.init(arena_, tenors_, true);
+    strike_.init(arena_, numSwaptions_, true);
+    maturity_.init(arena_, numSwaptions_, false);
+
+    Rng rng(mix64(params_.seed) ^ 0x5a971055UL);
+
+    // Gently upward-sloping forward curve with redundancy (quantized to
+    // basis points), like real market snapshots.
+    for (u32 k = 0; k < tenors_; ++k) {
+        const double base = 0.02 + 0.002 * k;
+        forward_.raw(k) =
+            std::round((base + rng.uniform(-0.0005, 0.0005)) * 1e4) / 1e4;
+        volCurve_.raw(k) =
+            std::round((0.10 + 0.01 * k + rng.uniform(-0.005, 0.005)) *
+                       1e3) / 1e3;
+    }
+    for (u64 s = 0; s < numSwaptions_; ++s) {
+        strike_.raw(s) = std::round(rng.uniform(0.02, 0.05) * 1e4) / 1e4;
+        maturity_.raw(s) = static_cast<i32>(rng.range(4, tenors_ - 1));
+    }
+}
+
+void
+SwaptionsWorkload::run(MemoryBackend &mem)
+{
+    lva_assert(numSwaptions_ > 0, "generate() must run first");
+    prices_.assign(numSwaptions_, 0.0);
+
+    constexpr double dt = 0.5;       // semi-annual steps
+    constexpr double mean_rev = 0.1; // mean-reversion speed
+
+    for (u64 s = 0; s < numSwaptions_; ++s) {
+        const ThreadId tid = threadOf(s);
+        // Dedicated path generator per swaption: identical shocks in
+        // precise and approximate runs.
+        Rng paths(mix64(params_.seed * 7919 + s) ^ 0x9a7500f1UL);
+
+        const i32 steps = maturity_.loadPrecise(mem, tid, siteMaturity_, s);
+        double payoff_sum = 0.0;
+
+        for (u64 t = 0; t < trials_; ++t) {
+            const double k =
+                strike_.load(mem, tid, siteStrike_, s);
+            double rate = forward_.load(mem, tid, siteForward_, 0);
+            double discount = 1.0;
+
+            for (i32 step = 1; step <= steps; ++step) {
+                const double fwd = forward_.load(
+                    mem, tid, siteForward_,
+                    static_cast<std::size_t>(step));
+                const double vol = volCurve_.load(
+                    mem, tid, siteVol_,
+                    static_cast<std::size_t>(step));
+                const double shock =
+                    vol * std::sqrt(dt) * paths.gaussian();
+                rate += mean_rev * (fwd - rate) * dt + shock * rate;
+                rate = std::max(rate, 1e-5);
+                discount *= std::exp(-rate * dt);
+                mem.tickInstructions(tid, instrPerStep);
+            }
+
+            // Payer swaption payoff on the terminal swap rate.
+            const double swap_rate = rate;
+            payoff_sum += discount * std::max(swap_rate - k, 0.0);
+            mem.tickInstructions(tid, instrPerTrial);
+        }
+        prices_[s] = payoff_sum / static_cast<double>(trials_);
+    }
+    mem.finish();
+}
+
+double
+SwaptionsWorkload::outputErrorVs(const Workload &golden) const
+{
+    const auto &ref = dynamic_cast<const SwaptionsWorkload &>(golden);
+    lva_assert(ref.prices_.size() == prices_.size(),
+               "golden run has different swaption count");
+    lva_assert(!prices_.empty(), "run() must complete first");
+
+    // Mean relative price error, all swaptions weighted equally.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < prices_.size(); ++i) {
+        const double err = relativeError(prices_[i], ref.prices_[i]);
+        sum += std::min(err, 1.0);
+    }
+    return sum / static_cast<double>(prices_.size());
+}
+
+} // namespace lva

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mini-swaptions: Monte-Carlo pricing of European payer swaptions under
+ * a one-factor short-rate model over a shared forward curve. The
+ * floating-point market-data arrays (forward curve, volatilities,
+ * strikes) are annotated approximable, as in the paper; the working set
+ * is tiny, so precise MPKI is essentially zero (Table I: 4.92e-05).
+ *
+ * Output error metric (paper section IV): the mean relative error of
+ * the approximated prices versus the precise prices, equally weighted.
+ */
+
+#ifndef LVA_WORKLOADS_SWAPTIONS_HH
+#define LVA_WORKLOADS_SWAPTIONS_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class SwaptionsWorkload : public Workload
+{
+  public:
+    explicit SwaptionsWorkload(const WorkloadParams &params);
+
+    const char *name() const override { return "swaptions"; }
+    ValueKind approxKind() const override { return ValueKind::Float64; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    const std::vector<double> &prices() const { return prices_; }
+
+  private:
+    u64 numSwaptions_ = 0;
+    u64 trials_ = 0;
+    u32 tenors_ = 0;
+
+    Region<double> forward_;  ///< shared forward curve (approximable)
+    Region<double> volCurve_; ///< per-tenor volatility (approximable)
+    Region<double> strike_;   ///< per-swaption strike (approximable)
+    Region<i32> maturity_;    ///< per-swaption maturity step (precise)
+
+    std::vector<double> prices_;
+
+    LoadSiteId siteForward_, siteVol_, siteStrike_, siteMaturity_;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_SWAPTIONS_HH

@@ -1,0 +1,43 @@
+#include "workloads/workload.hh"
+
+#include "util/logging.hh"
+#include "workloads/blackscholes.hh"
+#include "workloads/bodytrack.hh"
+#include "workloads/canneal.hh"
+#include "workloads/ferret.hh"
+#include "workloads/fluidanimate.hh"
+#include "workloads/swaptions.hh"
+#include "workloads/x264.hh"
+
+namespace lva {
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "blackscholes")
+        return std::make_unique<BlackscholesWorkload>(params);
+    if (name == "bodytrack")
+        return std::make_unique<BodytrackWorkload>(params);
+    if (name == "canneal")
+        return std::make_unique<CannealWorkload>(params);
+    if (name == "ferret")
+        return std::make_unique<FerretWorkload>(params);
+    if (name == "fluidanimate")
+        return std::make_unique<FluidanimateWorkload>(params);
+    if (name == "swaptions")
+        return std::make_unique<SwaptionsWorkload>(params);
+    if (name == "x264")
+        return std::make_unique<X264Workload>(params);
+    lva_fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "blackscholes", "bodytrack", "canneal",   "ferret",
+        "fluidanimate", "swaptions", "x264"};
+    return names;
+}
+
+} // namespace lva

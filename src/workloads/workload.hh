@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Workload abstraction: a mini-PARSEC kernel that performs its real
+ * computation while reporting every modelled memory access to a
+ * MemoryBackend, which may clobber annotated load values.
+ *
+ * Each workload mirrors the corresponding PARSEC 3.0 application's
+ * computational core, its approximate-data annotations (paper section
+ * IV) and its output-error metric. Work items are partitioned over
+ * four logical threads as in the paper's evaluation.
+ */
+
+#ifndef LVA_WORKLOADS_WORKLOAD_HH
+#define LVA_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/memory_backend.hh"
+#include "util/arena.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+#include "util/value.hh"
+
+namespace lva {
+
+/** Sizing and seeding knobs shared by all workloads. */
+struct WorkloadParams
+{
+    u32 threads = 4;   ///< logical threads (paper: 4)
+    u64 seed = 1;      ///< input-generation seed (5-run averaging)
+    double scale = 1.0;///< working-set scale factor (tests use < 1)
+
+    /** Scale an extent, keeping it at least @p floor. */
+    u64
+    scaled(u64 n, u64 floor = 1) const
+    {
+        const u64 s = static_cast<u64>(static_cast<double>(n) * scale);
+        return s < floor ? floor : s;
+    }
+};
+
+/** One static load instruction in a workload kernel. */
+struct LoadSite
+{
+    std::string name;
+    bool approximable = false;
+};
+
+/**
+ * Base class for the seven kernels.
+ *
+ * Lifecycle: construct with params -> generate() builds deterministic
+ * inputs -> run(backend) executes the kernel -> outputErrorVs(golden)
+ * compares final outputs against a precise run of an identically
+ * generated twin.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params) : params_(params) {}
+    virtual ~Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /** PARSEC benchmark name ("canneal", "x264", ...). */
+    virtual const char *name() const = 0;
+
+    /** Scalar type of the annotated data (paper section V-A). */
+    virtual ValueKind approxKind() const = 0;
+
+    /** Build inputs deterministically from params().seed. */
+    virtual void generate() = 0;
+
+    /** Execute the kernel, issuing all modelled accesses to @p mem. */
+    virtual void run(MemoryBackend &mem) = 0;
+
+    /**
+     * Application-level output error versus a precise (golden) run,
+     * using this benchmark's metric from paper section IV. The golden
+     * workload must be the same type, generated with the same seed.
+     *
+     * @return error fraction in [0, 1] (may exceed 1 for unbounded
+     *         relative metrics)
+     */
+    virtual double outputErrorVs(const Workload &golden) const = 0;
+
+    const WorkloadParams &params() const { return params_; }
+
+    /** All static load sites declared by this kernel. */
+    const std::vector<LoadSite> &loadSites() const { return sites_; }
+
+    /** Number of distinct static approximate-load PCs (paper Fig. 12). */
+    u32
+    approxLoadSites() const
+    {
+        u32 count = 0;
+        for (const auto &site : sites_)
+            if (site.approximable)
+                ++count;
+        return count;
+    }
+
+  protected:
+    /** Register a static load site; the id doubles as its PC. */
+    LoadSiteId
+    declareSite(const char *site_name, bool approximable)
+    {
+        sites_.push_back(LoadSite{site_name, approximable});
+        return static_cast<LoadSiteId>(0x400000 + 4 * (sites_.size() - 1));
+    }
+
+    /** Thread that owns work item @p i under block-cyclic partitioning. */
+    ThreadId
+    threadOf(u64 i) const
+    {
+        return static_cast<ThreadId>(i % params_.threads);
+    }
+
+    WorkloadParams params_;
+    VirtualArena arena_;
+
+  private:
+    std::vector<LoadSite> sites_;
+};
+
+/** Construct a workload by PARSEC name; fatal on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/** The seven benchmark names in the paper's presentation order. */
+const std::vector<std::string> &allWorkloadNames();
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_WORKLOAD_HH

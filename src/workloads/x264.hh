@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Mini-x264: block motion estimation and residual coding between
+ * consecutive synthetic frames. Reference-frame pixel loads inside the
+ * SAD search and the residual computation are annotated approximable
+ * (paper section IV: "the approximated data are integer values of
+ * pixels"). The search window has strong reuse, so MPKI is low
+ * (Table I: 0.59).
+ *
+ * Output error metric: PSNR difference and bit-rate difference versus
+ * the precise encode, equally weighted.
+ */
+
+#ifndef LVA_WORKLOADS_X264_HH
+#define LVA_WORKLOADS_X264_HH
+
+#include "workloads/region.hh"
+#include "workloads/workload.hh"
+
+namespace lva {
+
+class X264Workload : public Workload
+{
+  public:
+    explicit X264Workload(const WorkloadParams &params);
+
+    const char *name() const override { return "x264"; }
+    ValueKind approxKind() const override { return ValueKind::Int64; }
+    void generate() override;
+    void run(MemoryBackend &mem) override;
+    double outputErrorVs(const Workload &golden) const override;
+
+    double psnr() const { return psnr_; }
+    double bits() const { return bits_; }
+
+  private:
+    /** Synthesize frame @p f into @p out (textured pan + objects). */
+    void renderFrame(u32 f, Region<i32> &out) const;
+
+    /** Subsampled SAD of the 16x16 block at (bx, by) against the
+     *  reference at displacement (dx, dy); annotated ref loads. */
+    i64 sad(MemoryBackend &mem, ThreadId tid, const i32 *cur_block,
+            i32 bx, i32 by, i32 dx, i32 dy, LoadSiteId site);
+
+    u32 width_ = 0;
+    u32 height_ = 0;
+    u32 frames_ = 0;
+
+    Region<i32> cur_; ///< current frame (precise loads)
+    Region<i32> ref_; ///< reference frame (approximable loads)
+
+    double psnr_ = 0.0;
+    double bits_ = 0.0;
+
+    static constexpr u32 blockSize = 16;
+    static constexpr u32 sadPoints = 4; ///< subsample stride in SAD
+    static constexpr i32 searchRange = 8;
+    static constexpr i32 quant = 8;
+
+    LoadSiteId siteCur_, siteRefCenter_, siteRefDiamond_[4],
+        siteRefRefine_[4], siteRefResidual_, siteReconStore_;
+};
+
+} // namespace lva
+
+#endif // LVA_WORKLOADS_X264_HH

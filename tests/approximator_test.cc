@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit tests for the load value approximator: allocation, training,
+ * confidence gating, relaxed windows, approximation degree and value
+ * delay — the semantics of paper sections III-A through III-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximator.hh"
+
+namespace lva {
+namespace {
+
+ApproximatorConfig
+testConfig()
+{
+    ApproximatorConfig cfg; // paper baseline
+    cfg.ghbEntries = 0;     // context = PC only: deterministic tests
+    cfg.valueDelay = 0;     // training visible on the next load
+    return cfg;
+}
+
+TEST(Approximator, FirstMissAllocatesAndFetches)
+{
+    LoadValueApproximator lva(testConfig());
+    const MissResponse r = lva.onMiss(0x400, Value::fromInt(5));
+    EXPECT_FALSE(r.approximated);
+    EXPECT_TRUE(r.fetch);
+    EXPECT_EQ(lva.stats().allocations.value(), 1u);
+    EXPECT_EQ(lva.validEntries(), 1u);
+}
+
+TEST(Approximator, ApproximatesAfterTraining)
+{
+    LoadValueApproximator lva(testConfig());
+    lva.onMiss(0x400, Value::fromInt(10)); // allocate + train
+    const MissResponse r = lva.onMiss(0x400, Value::fromInt(12));
+    EXPECT_TRUE(r.approximated);
+    EXPECT_EQ(r.value.asInt(), 10); // LHB = {10}
+    EXPECT_TRUE(r.fetch);           // degree 0: always fetch
+}
+
+TEST(Approximator, AverageOverLhb)
+{
+    LoadValueApproximator lva(testConfig());
+    lva.onMiss(0x400, Value::fromInt(10));
+    lva.onMiss(0x400, Value::fromInt(20));
+    lva.onMiss(0x400, Value::fromInt(30));
+    const MissResponse r = lva.onMiss(0x400, Value::fromInt(0));
+    EXPECT_TRUE(r.approximated);
+    EXPECT_EQ(r.value.asInt(), 20); // avg(10, 20, 30)
+}
+
+TEST(Approximator, LhbCapacityRollsForward)
+{
+    auto cfg = testConfig();
+    cfg.lhbEntries = 2;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(100)); // dropped later
+    lva.onMiss(0x400, Value::fromInt(10));
+    lva.onMiss(0x400, Value::fromInt(20));
+    const MissResponse r = lva.onMiss(0x400, Value::fromInt(0));
+    EXPECT_EQ(r.value.asInt(), 15); // avg of last two only
+}
+
+TEST(Approximator, IntegersBypassConfidenceByDefault)
+{
+    LoadValueApproximator lva(testConfig());
+    // Wildly varying integers would tank any confidence estimator;
+    // the baseline does not employ confidence for integer data.
+    lva.onMiss(0x400, Value::fromInt(0));
+    for (int i = 1; i < 20; ++i) {
+        const MissResponse r =
+            lva.onMiss(0x400, Value::fromInt(i * 1000));
+        EXPECT_TRUE(r.approximated) << "iteration " << i;
+    }
+    EXPECT_EQ(lva.stats().confRejects.value(), 0u);
+}
+
+TEST(Approximator, FloatConfidenceGateRejectsAfterBadStreak)
+{
+    LoadValueApproximator lva(testConfig());
+    // Alternate wildly different FP values: estimates are never
+    // within +/-10%, so confidence sinks below zero and the gate
+    // closes.
+    lva.onMiss(0x400, Value::fromFloat(1.0f));
+    bool saw_reject = false;
+    for (int i = 0; i < 30; ++i) {
+        const float actual = (i % 2 == 0) ? 1000.0f : 0.001f;
+        const MissResponse r =
+            lva.onMiss(0x400, Value::fromFloat(actual));
+        if (!r.approximated)
+            saw_reject = true;
+    }
+    EXPECT_TRUE(saw_reject);
+    EXPECT_GT(lva.stats().confRejects.value(), 0u);
+}
+
+TEST(Approximator, FloatConfidenceRecovers)
+{
+    LoadValueApproximator lva(testConfig());
+    // Sink confidence with erratic values...
+    lva.onMiss(0x400, Value::fromFloat(1.0f));
+    for (int i = 0; i < 20; ++i)
+        lva.onMiss(0x400,
+                   Value::fromFloat((i % 2 == 0) ? 900.0f : 0.01f));
+    // ...then feed a long stable stream: the would-be estimates are
+    // validated on every fetch, so confidence climbs back.
+    bool recovered = false;
+    for (int i = 0; i < 40; ++i) {
+        const MissResponse r =
+            lva.onMiss(0x400, Value::fromFloat(5.0f));
+        if (r.approximated)
+            recovered = true;
+    }
+    EXPECT_TRUE(recovered);
+}
+
+TEST(Approximator, StableFloatsStayConfident)
+{
+    LoadValueApproximator lva(testConfig());
+    lva.onMiss(0x400, Value::fromFloat(4.0f));
+    u64 approximated = 0;
+    for (int i = 0; i < 50; ++i) {
+        const float v = 4.0f + 0.01f * static_cast<float>(i % 3);
+        if (lva.onMiss(0x400, Value::fromFloat(v)).approximated)
+            ++approximated;
+    }
+    EXPECT_GE(approximated, 49u);
+}
+
+TEST(Approximator, InfiniteWindowNeverLosesConfidence)
+{
+    auto cfg = testConfig();
+    cfg.confidenceWindow = ApproximatorConfig::infiniteWindow;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromFloat(1.0f));
+    for (int i = 0; i < 30; ++i) {
+        const MissResponse r = lva.onMiss(
+            0x400, Value::fromFloat((i % 2 == 0) ? 1e6f : 1e-6f));
+        EXPECT_TRUE(r.approximated) << "iteration " << i;
+    }
+    EXPECT_EQ(lva.stats().confRejects.value(), 0u);
+}
+
+TEST(Approximator, ConfidenceDisabledAlwaysApproximates)
+{
+    auto cfg = testConfig();
+    cfg.confidenceDisabled = true;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromFloat(1.0f));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(lva.onMiss(0x400, Value::fromFloat(i * 100.0f))
+                        .approximated);
+    }
+}
+
+TEST(Approximator, DegreeSkipsFetches)
+{
+    auto cfg = testConfig();
+    cfg.approxDegree = 3;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(8)); // allocate (fetch)
+
+    u64 fetches = 0;
+    const int misses = 40;
+    for (int i = 0; i < misses; ++i) {
+        const MissResponse r = lva.onMiss(0x400, Value::fromInt(8));
+        EXPECT_TRUE(r.approximated);
+        if (r.fetch)
+            ++fetches;
+    }
+    // 1:(degree+1) fetch-to-miss ratio for approximated misses.
+    EXPECT_EQ(fetches, static_cast<u64>(misses) / 4);
+    EXPECT_EQ(lva.stats().fetchesSkipped.value(),
+              static_cast<u64>(misses) - fetches);
+}
+
+TEST(Approximator, DegreeReusesSameValue)
+{
+    auto cfg = testConfig();
+    cfg.approxDegree = 4;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(10));
+    // While no fetch occurs, the LHB is untouched, so the generated
+    // value repeats (paper: "the next approximation from this entry
+    // will return the same value").
+    const MissResponse first = lva.onMiss(0x400, Value::fromInt(99));
+    for (int i = 0; i < 3; ++i) {
+        const MissResponse r = lva.onMiss(0x400, Value::fromInt(77));
+        EXPECT_FALSE(r.fetch);
+        EXPECT_EQ(r.value.asInt(), first.value.asInt());
+    }
+}
+
+TEST(Approximator, ValueDelayDefersTraining)
+{
+    auto cfg = testConfig();
+    cfg.valueDelay = 3;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(50)); // training in flight
+
+    // Until 3 more loads issue, the entry has no history.
+    const MissResponse r1 = lva.onMiss(0x400, Value::fromInt(50));
+    EXPECT_FALSE(r1.approximated);
+    lva.onHit(0x500, Value::fromInt(1));
+    lva.onHit(0x500, Value::fromInt(2));
+    // 4 loads have now issued since the first miss: trained.
+    const MissResponse r2 = lva.onMiss(0x400, Value::fromInt(50));
+    EXPECT_TRUE(r2.approximated);
+    EXPECT_EQ(r2.value.asInt(), 50);
+}
+
+TEST(Approximator, DrainPendingFlushesTraining)
+{
+    auto cfg = testConfig();
+    cfg.valueDelay = 100;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(7));
+    lva.drainPending();
+    EXPECT_EQ(lva.stats().trainings.value(), 1u);
+    const MissResponse r = lva.onMiss(0x400, Value::fromInt(7));
+    EXPECT_TRUE(r.approximated);
+}
+
+TEST(Approximator, StaleTrainingDropped)
+{
+    auto cfg = testConfig();
+    cfg.tableEntries = 1; // force aliasing
+    cfg.valueDelay = 10;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(1)); // train in flight for PC A
+    lva.onMiss(0x999, Value::fromInt(2)); // re-allocates the entry
+    lva.drainPending();
+    EXPECT_GE(lva.stats().staleDrops.value(), 1u);
+}
+
+TEST(Approximator, DistinctContextsIsolated)
+{
+    LoadValueApproximator lva(testConfig());
+    lva.onMiss(0x400, Value::fromInt(100));
+    lva.onMiss(0x500, Value::fromInt(-100));
+    EXPECT_EQ(lva.onMiss(0x400, Value::fromInt(0)).value.asInt(), 100);
+    EXPECT_EQ(lva.onMiss(0x500, Value::fromInt(0)).value.asInt(),
+              -100);
+}
+
+TEST(Approximator, GhbChangesContext)
+{
+    auto cfg = testConfig();
+    cfg.ghbEntries = 2;
+    LoadValueApproximator lva(cfg);
+    // Same PC but different global history => different table entry;
+    // with a fresh history pattern there is no LHB to estimate from.
+    lva.onMiss(0x400, Value::fromInt(10));
+    lva.onHit(0x500, Value::fromInt(1));
+    const MissResponse r1 = lva.onMiss(0x400, Value::fromInt(10));
+    lva.onHit(0x500, Value::fromInt(2));
+    const MissResponse r2 = lva.onMiss(0x400, Value::fromInt(10));
+    // At least one of these hits a new context and cannot approximate.
+    EXPECT_TRUE(!r1.approximated || !r2.approximated);
+    EXPECT_GE(lva.stats().allocations.value(), 2u);
+}
+
+TEST(Approximator, CoverageStatistic)
+{
+    LoadValueApproximator lva(testConfig());
+    lva.onMiss(0x400, Value::fromInt(1)); // not approximated
+    lva.onMiss(0x400, Value::fromInt(1)); // approximated
+    lva.onMiss(0x400, Value::fromInt(1)); // approximated
+    EXPECT_NEAR(lva.coverage(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Approximator, EstimatorLast)
+{
+    auto cfg = testConfig();
+    cfg.estimator = Estimator::Last;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(10));
+    lva.onMiss(0x400, Value::fromInt(30));
+    EXPECT_EQ(lva.onMiss(0x400, Value::fromInt(0)).value.asInt(), 30);
+}
+
+TEST(Approximator, EstimatorStride)
+{
+    auto cfg = testConfig();
+    cfg.estimator = Estimator::Stride;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(10));
+    lva.onMiss(0x400, Value::fromInt(20));
+    lva.onMiss(0x400, Value::fromInt(30));
+    EXPECT_EQ(lva.onMiss(0x400, Value::fromInt(0)).value.asInt(), 40);
+}
+
+TEST(Approximator, AssociativityResolvesAliasing)
+{
+    // Force two contexts into one set: a 1-way (direct-mapped) table
+    // of a single entry thrashes between them, while a 2-way table of
+    // the same total size keeps both trained.
+    auto direct = testConfig();
+    direct.tableEntries = 2;
+    direct.tableAssoc = 1;
+    auto assoc = testConfig();
+    assoc.tableEntries = 2;
+    assoc.tableAssoc = 2; // one set, two ways
+
+    auto run = [](const ApproximatorConfig &cfg) {
+        LoadValueApproximator lva(cfg);
+        // Find two PCs mapping to the same direct-mapped entry.
+        // With 2 entries, PCs hashing to the same parity collide;
+        // just scan for a colliding pair behaviourally by using many
+        // alternating PCs in a 1-set (assoc) vs 2-set (direct) table.
+        u64 approximations = 0;
+        for (int i = 0; i < 200; ++i) {
+            const LoadSiteId pc = (i % 2 == 0) ? 0x400 : 0x404;
+            approximations +=
+                lva.onMiss(pc, Value::fromInt(7)).approximated;
+        }
+        return approximations;
+    };
+
+    // In the 2-way table both contexts always coexist; the
+    // direct-mapped table can do no better and thrashes whenever the
+    // two PCs alias.
+    EXPECT_GE(run(assoc), run(direct));
+    EXPECT_GT(run(assoc), 150u);
+}
+
+TEST(Approximator, LruWithinSet)
+{
+    // 2-way single set: touch A, B, then C — C must evict A (the
+    // least recently used), so B remains trained.
+    auto cfg = testConfig();
+    cfg.tableEntries = 2;
+    cfg.tableAssoc = 2;
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0xA00, Value::fromInt(1)); // A allocates
+    lva.onMiss(0xB00, Value::fromInt(2)); // B allocates
+    lva.onMiss(0xA00, Value::fromInt(1)); // A trained + MRU
+    lva.onMiss(0xB00, Value::fromInt(2)); // B trained + MRU
+    lva.onMiss(0xC00, Value::fromInt(3)); // C evicts A
+    EXPECT_TRUE(lva.onMiss(0xB00, Value::fromInt(2)).approximated);
+    // A was evicted: re-allocation, no approximation.
+    EXPECT_FALSE(lva.onMiss(0xA00, Value::fromInt(1)).approximated);
+}
+
+TEST(ApproximatorConfig, StorageWithinHardwareBudget)
+{
+    // Paper section VII-A: ~18 KB for 64-bit values, ~10 KB for
+    // 32-bit values with the baseline geometry.
+    const ApproximatorConfig cfg;
+    EXPECT_NEAR(static_cast<double>(cfg.storageBytes(8)), 18.0 * 1024,
+                2.0 * 1024);
+    EXPECT_NEAR(static_cast<double>(cfg.storageBytes(4)), 10.0 * 1024,
+                2.0 * 1024);
+}
+
+/** Degree sweep property: fetch fraction of approximated misses is
+ *  exactly 1/(degree+1) on a stable context. */
+class DegreeSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(DegreeSweep, FetchFraction)
+{
+    auto cfg = testConfig();
+    cfg.approxDegree = GetParam();
+    LoadValueApproximator lva(cfg);
+    lva.onMiss(0x400, Value::fromInt(3));
+    u64 fetches = 0;
+    const u64 n = 100 * (GetParam() + 1);
+    for (u64 i = 0; i < n; ++i)
+        fetches += lva.onMiss(0x400, Value::fromInt(3)).fetch ? 1 : 0;
+    EXPECT_EQ(fetches, n / (GetParam() + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unit tests for the deterministic virtual-address arena.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/arena.hh"
+
+namespace lva {
+namespace {
+
+TEST(VirtualArena, BlockAlignedAllocations)
+{
+    VirtualArena arena(0x1000, 64);
+    const Addr a = arena.allocate(10);
+    const Addr b = arena.allocate(100);
+    const Addr c = arena.allocate(64);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_EQ(b, 0x1040u); // 10 rounds up to one block
+    EXPECT_EQ(c, 0x10c0u); // 100 rounds up to two blocks
+    EXPECT_EQ(arena.next(), 0x1100u);
+}
+
+TEST(VirtualArena, RegionsNeverShareBlocks)
+{
+    VirtualArena arena(0, 64);
+    Addr prev_end = 0;
+    for (int i = 1; i <= 32; ++i) {
+        const Addr base = arena.allocate(static_cast<u64>(i * 7));
+        EXPECT_EQ(base % 64, 0u);
+        EXPECT_GE(base, prev_end);
+        prev_end = base + static_cast<u64>(i * 7);
+    }
+}
+
+TEST(VirtualArena, DeterministicAcrossInstances)
+{
+    VirtualArena a;
+    VirtualArena b;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.allocate(100), b.allocate(100));
+}
+
+} // namespace
+} // namespace lva

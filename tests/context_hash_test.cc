@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the XOR(PC, GHB) context hash and its index/tag split.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/context_hash.hh"
+
+namespace lva {
+namespace {
+
+TEST(ContextHash, StableForSameInputs)
+{
+    HistoryBuffer ghb(2);
+    ghb.push(Value::fromFloat(1.5f));
+    ghb.push(Value::fromFloat(2.5f));
+    EXPECT_EQ(contextHash(0x400, ghb, 0), contextHash(0x400, ghb, 0));
+}
+
+TEST(ContextHash, PcSensitive)
+{
+    HistoryBuffer ghb(0);
+    EXPECT_NE(contextHash(0x400, ghb, 0), contextHash(0x404, ghb, 0));
+}
+
+TEST(ContextHash, HistorySensitive)
+{
+    HistoryBuffer a(2);
+    HistoryBuffer b(2);
+    a.push(Value::fromInt(1));
+    b.push(Value::fromInt(2));
+    EXPECT_NE(contextHash(0x400, a, 0), contextHash(0x400, b, 0));
+}
+
+TEST(ContextHash, MantissaTruncationMergesCloseFloats)
+{
+    HistoryBuffer a(1);
+    HistoryBuffer b(1);
+    a.push(Value::fromFloat(1.0f));
+    b.push(Value::fromFloat(std::nextafterf(1.0f, 2.0f)));
+    EXPECT_NE(contextHash(0x400, a, 0), contextHash(0x400, b, 0));
+    EXPECT_EQ(contextHash(0x400, a, 8), contextHash(0x400, b, 8));
+}
+
+TEST(SplitHash, IndexWithinTable)
+{
+    for (u64 h = 0; h < 10000; h += 7) {
+        const HashSplit s = splitHash(mix64(h), 512, 21);
+        EXPECT_LT(s.index, 512u);
+        EXPECT_LT(s.tag, u64(1) << 21);
+    }
+}
+
+TEST(SplitHash, TagDisambiguatesSameIndex)
+{
+    // Two hashes landing in the same index should usually differ in
+    // tag; verify at least that distinct tags occur.
+    std::set<u64> tags;
+    for (u64 h = 0; h < 512 * 64; ++h) {
+        const HashSplit s = splitHash(mix64(h), 512, 21);
+        if (s.index == 0)
+            tags.insert(s.tag);
+    }
+    EXPECT_GT(tags.size(), 10u);
+}
+
+TEST(SplitHash, FullWidthTagMask)
+{
+    const HashSplit s = splitHash(~u64(0), 512, 64);
+    EXPECT_EQ(s.tag, (~u64(0)) / 512);
+}
+
+TEST(ContextHash, IndexDistributionRoughlyUniform)
+{
+    // Hash consecutive PCs into 512 entries: no entry should be
+    // grossly overloaded (mix64 avalanche property).
+    std::vector<int> counts(512, 0);
+    HistoryBuffer ghb(0);
+    for (u32 pc = 0; pc < 512 * 16; pc += 4)
+        ++counts[splitHash(contextHash(pc, ghb, 0), 512, 21).index];
+    for (int c : counts)
+        EXPECT_LT(c, 24); // mean is 4
+}
+
+} // namespace
+} // namespace lva

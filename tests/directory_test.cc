@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the MSI directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/directory.hh"
+
+namespace lva {
+namespace {
+
+constexpr Addr blk = 0x4000;
+
+TEST(Directory, StartsInvalid)
+{
+    Directory dir;
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Invalid);
+    EXPECT_EQ(dir.find(blk), nullptr);
+    EXPECT_EQ(dir.trackedBlocks(), 0u);
+}
+
+TEST(Directory, ReadFillMakesShared)
+{
+    Directory dir;
+    dir.addSharer(blk, 0);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Shared);
+    EXPECT_TRUE(dir.isSharer(blk, 0));
+    EXPECT_FALSE(dir.isSharer(blk, 1));
+    dir.addSharer(blk, 2);
+    EXPECT_TRUE(dir.isSharer(blk, 2));
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Shared);
+}
+
+TEST(Directory, WriteMakesModifiedSingleOwner)
+{
+    Directory dir;
+    dir.addSharer(blk, 0);
+    dir.addSharer(blk, 1);
+    dir.setOwner(blk, 2);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Modified);
+    EXPECT_TRUE(dir.isSharer(blk, 2));
+    // Single-writer invariant: previous sharers are gone.
+    EXPECT_FALSE(dir.isSharer(blk, 0));
+    EXPECT_FALSE(dir.isSharer(blk, 1));
+    EXPECT_EQ(dir.find(blk)->owner, 2u);
+}
+
+TEST(Directory, DowngradeKeepsSharer)
+{
+    Directory dir;
+    dir.setOwner(blk, 1);
+    dir.downgrade(blk);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Shared);
+    EXPECT_TRUE(dir.isSharer(blk, 1));
+    EXPECT_EQ(dir.stats().downgrades.value(), 1u);
+}
+
+TEST(Directory, ReadFillByOwnerDemotesToShared)
+{
+    Directory dir;
+    dir.setOwner(blk, 1);
+    dir.addSharer(blk, 1);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Shared);
+}
+
+TEST(Directory, RemoveSharerToInvalid)
+{
+    Directory dir;
+    dir.addSharer(blk, 0);
+    dir.addSharer(blk, 1);
+    dir.removeSharer(blk, 0);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Shared);
+    dir.removeSharer(blk, 1);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Invalid);
+    EXPECT_EQ(dir.trackedBlocks(), 0u);
+}
+
+TEST(Directory, RemoveOwnerClearsOwnership)
+{
+    Directory dir;
+    dir.setOwner(blk, 3);
+    dir.removeSharer(blk, 3);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Invalid);
+}
+
+TEST(Directory, ClearDropsBlock)
+{
+    Directory dir;
+    dir.addSharer(blk, 0);
+    dir.addSharer(blk + 64, 1);
+    dir.clear(blk);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Invalid);
+    EXPECT_EQ(dir.stateOf(blk + 64), CoherenceState::Shared);
+}
+
+TEST(Directory, RemoveSharerOnUnknownBlockIsNoOp)
+{
+    Directory dir;
+    dir.removeSharer(0x9999, 0); // must not crash or create state
+    EXPECT_EQ(dir.trackedBlocks(), 0u);
+}
+
+TEST(Directory, IndependentBlocks)
+{
+    Directory dir;
+    dir.setOwner(blk, 0);
+    dir.addSharer(blk + 64, 1);
+    EXPECT_EQ(dir.stateOf(blk), CoherenceState::Modified);
+    EXPECT_EQ(dir.stateOf(blk + 64), CoherenceState::Shared);
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the dynamic-energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace lva {
+namespace {
+
+TEST(EnergyModel, ZeroEventsZeroEnergy)
+{
+    const EnergyBreakdown e = computeEnergy(EnergyEvents{});
+    EXPECT_DOUBLE_EQ(e.total(), 0.0);
+    EXPECT_DOUBLE_EQ(e.missServicing(), 0.0);
+}
+
+TEST(EnergyModel, LinearInEventCounts)
+{
+    EnergyEvents ev;
+    ev.l1Accesses = 10;
+    ev.dramAccesses = 2;
+    const EnergyBreakdown once = computeEnergy(ev);
+    ev.l1Accesses = 20;
+    ev.dramAccesses = 4;
+    const EnergyBreakdown twice = computeEnergy(ev);
+    EXPECT_DOUBLE_EQ(twice.total(), 2.0 * once.total());
+}
+
+TEST(EnergyModel, BreakdownMatchesParams)
+{
+    EnergyParams p;
+    EnergyEvents ev;
+    ev.l1Accesses = 3;
+    ev.l2Accesses = 5;
+    ev.dramAccesses = 7;
+    ev.nocFlitHops = 11;
+    ev.approxLookups = 13;
+    ev.approxTrains = 17;
+    const EnergyBreakdown e = computeEnergy(ev, p);
+    EXPECT_DOUBLE_EQ(e.l1, 3 * p.l1Access);
+    EXPECT_DOUBLE_EQ(e.l2, 5 * p.l2Access);
+    EXPECT_DOUBLE_EQ(e.dram, 7 * p.dramAccess);
+    EXPECT_DOUBLE_EQ(e.noc, 11 * p.nocFlitHop);
+    EXPECT_DOUBLE_EQ(e.approximator,
+                     13 * p.approxLookup + 17 * p.approxTrain);
+    EXPECT_DOUBLE_EQ(e.total(),
+                     e.l1 + e.l2 + e.dram + e.noc + e.approximator);
+}
+
+TEST(EnergyModel, MissServicingExcludesL1AndApproximator)
+{
+    EnergyEvents ev;
+    ev.l1Accesses = 100;
+    ev.l2Accesses = 10;
+    ev.dramAccesses = 1;
+    ev.nocFlitHops = 50;
+    ev.approxLookups = 100;
+    const EnergyBreakdown e = computeEnergy(ev);
+    EXPECT_DOUBLE_EQ(e.missServicing(), e.l2 + e.dram + e.noc);
+}
+
+TEST(EnergyModel, DramDominatesPerAccess)
+{
+    // Sanity on the constants: the hierarchy ordering the paper's
+    // energy argument rests on (DRAM >> L2 > L1 > approximator).
+    const EnergyParams p;
+    EXPECT_GT(p.dramAccess, p.l2Access);
+    EXPECT_GT(p.l2Access, p.l1Access);
+    EXPECT_GT(p.l1Access, p.approxLookup);
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the FIFO history buffer backing the GHB and LHBs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/history_buffer.hh"
+
+namespace lva {
+namespace {
+
+TEST(HistoryBuffer, StartsEmpty)
+{
+    HistoryBuffer buf(4);
+    EXPECT_EQ(buf.capacity(), 4u);
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_FALSE(buf.full());
+    EXPECT_TRUE(buf.snapshot().empty());
+}
+
+TEST(HistoryBuffer, FillsInOrder)
+{
+    HistoryBuffer buf(3);
+    buf.push(Value::fromInt(1));
+    buf.push(Value::fromInt(2));
+    EXPECT_EQ(buf.size(), 2u);
+    const auto snap = buf.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].asInt(), 1);
+    EXPECT_EQ(snap[1].asInt(), 2);
+}
+
+TEST(HistoryBuffer, EvictsOldestWhenFull)
+{
+    HistoryBuffer buf(3);
+    for (int i = 1; i <= 5; ++i)
+        buf.push(Value::fromInt(i));
+    EXPECT_TRUE(buf.full());
+    const auto snap = buf.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].asInt(), 3);
+    EXPECT_EQ(snap[1].asInt(), 4);
+    EXPECT_EQ(snap[2].asInt(), 5);
+}
+
+TEST(HistoryBuffer, NewestIndexing)
+{
+    HistoryBuffer buf(4);
+    for (int i = 1; i <= 6; ++i)
+        buf.push(Value::fromInt(i));
+    EXPECT_EQ(buf.newest(0).asInt(), 6);
+    EXPECT_EQ(buf.newest(1).asInt(), 5);
+    EXPECT_EQ(buf.newest(3).asInt(), 3);
+}
+
+TEST(HistoryBuffer, ZeroCapacityIsLegalNoOp)
+{
+    HistoryBuffer buf(0);
+    buf.push(Value::fromInt(1));
+    buf.push(Value::fromInt(2));
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_TRUE(buf.snapshot().empty());
+}
+
+TEST(HistoryBuffer, ClearResets)
+{
+    HistoryBuffer buf(3);
+    buf.push(Value::fromInt(1));
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    buf.push(Value::fromInt(9));
+    EXPECT_EQ(buf.newest().asInt(), 9);
+}
+
+TEST(HistoryBuffer, SnapshotMatchesNewestOrdering)
+{
+    HistoryBuffer buf(5);
+    for (int i = 0; i < 17; ++i)
+        buf.push(Value::fromInt(i));
+    const auto snap = buf.snapshot();
+    for (u32 i = 0; i < buf.size(); ++i)
+        EXPECT_EQ(snap[buf.size() - 1 - i].asInt(),
+                  buf.newest(i).asInt());
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the idealized load value predictor baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lvp.hh"
+
+namespace lva {
+namespace {
+
+ApproximatorConfig
+testConfig()
+{
+    ApproximatorConfig cfg;
+    cfg.ghbEntries = 0;
+    cfg.valueDelay = 0;
+    return cfg;
+}
+
+TEST(IdealizedLvp, ColdMissIsNotPredicted)
+{
+    IdealizedLvp lvp(testConfig());
+    EXPECT_FALSE(lvp.onMiss(0x400, Value::fromInt(5)));
+    EXPECT_EQ(lvp.stats().cold.value(), 1u);
+}
+
+TEST(IdealizedLvp, OracleMatchesAnyLhbValue)
+{
+    IdealizedLvp lvp(testConfig());
+    lvp.onMiss(0x400, Value::fromInt(10));
+    lvp.onMiss(0x400, Value::fromInt(20));
+    lvp.onMiss(0x400, Value::fromInt(30));
+    // 10, 20 and 30 are all in the LHB: any of them predicts.
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(20)));
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(10)));
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(30)));
+    EXPECT_EQ(lvp.stats().correct.value(), 3u);
+}
+
+TEST(IdealizedLvp, ExactMatchRequired)
+{
+    IdealizedLvp lvp(testConfig());
+    lvp.onMiss(0x400, Value::fromFloat(1.0f));
+    // 1.0001 is approximately 1.0 but NOT an exact match: traditional
+    // value prediction must roll back.
+    EXPECT_FALSE(lvp.onMiss(0x400, Value::fromFloat(1.0001f)));
+    EXPECT_EQ(lvp.stats().incorrect.value(), 1u);
+}
+
+TEST(IdealizedLvp, LhbCapacityEvictsOldValues)
+{
+    auto cfg = testConfig();
+    cfg.lhbEntries = 2;
+    IdealizedLvp lvp(cfg);
+    lvp.onMiss(0x400, Value::fromInt(1));
+    lvp.onMiss(0x400, Value::fromInt(2));
+    lvp.onMiss(0x400, Value::fromInt(3)); // evicts 1
+    EXPECT_FALSE(lvp.onMiss(0x400, Value::fromInt(1)));
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(3)));
+}
+
+TEST(IdealizedLvp, ValueDelayDefersTraining)
+{
+    auto cfg = testConfig();
+    cfg.valueDelay = 2;
+    IdealizedLvp lvp(cfg);
+    lvp.onMiss(0x400, Value::fromInt(5));
+    // The value has not arrived yet: still cold.
+    EXPECT_FALSE(lvp.onMiss(0x400, Value::fromInt(5)));
+    lvp.onHit(0x500, Value::fromInt(0));
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(5)));
+}
+
+TEST(IdealizedLvp, DistinctPcsIsolated)
+{
+    IdealizedLvp lvp(testConfig());
+    lvp.onMiss(0x400, Value::fromInt(10));
+    EXPECT_FALSE(lvp.onMiss(0x500, Value::fromInt(10)));
+}
+
+TEST(IdealizedLvp, DrainPendingTrains)
+{
+    auto cfg = testConfig();
+    cfg.valueDelay = 99;
+    IdealizedLvp lvp(cfg);
+    lvp.onMiss(0x400, Value::fromInt(4));
+    lvp.drainPending();
+    EXPECT_TRUE(lvp.onMiss(0x400, Value::fromInt(4)));
+}
+
+} // namespace
+} // namespace lva

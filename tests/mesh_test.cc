@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the 2x2 mesh NoC timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+
+namespace lva {
+namespace {
+
+MeshConfig
+mesh2x2()
+{
+    return MeshConfig{}; // 2x2, 3-cycle routers, 16 B flits
+}
+
+TEST(MeshConfig, FlitMath)
+{
+    const MeshConfig cfg = mesh2x2();
+    EXPECT_EQ(cfg.nodes(), 4u);
+    EXPECT_EQ(cfg.flitsFor(MessageBytes::control), 1u);
+    EXPECT_EQ(cfg.flitsFor(MessageBytes::data), 5u);
+    EXPECT_EQ(cfg.flitsFor(1), 1u);
+    EXPECT_EQ(cfg.flitsFor(16), 1u);
+    EXPECT_EQ(cfg.flitsFor(17), 2u);
+}
+
+TEST(Mesh, LocalDeliveryPaysOneRouter)
+{
+    Mesh mesh(mesh2x2());
+    EXPECT_DOUBLE_EQ(mesh.deliver(0, 0, 8, 10.0), 13.0);
+}
+
+TEST(Mesh, OneHopZeroLoadLatency)
+{
+    Mesh mesh(mesh2x2());
+    // Node 0 -> node 1 is one hop: router (3) + 1 flit.
+    EXPECT_DOUBLE_EQ(mesh.deliver(0, 1, 8, 0.0), 4.0);
+}
+
+TEST(Mesh, DiagonalIsTwoHops)
+{
+    Mesh mesh(mesh2x2());
+    // Node 0 (0,0) -> node 3 (1,1): two hops, data message (5 flits).
+    EXPECT_DOUBLE_EQ(mesh.deliver(0, 3, 72, 0.0), 16.0);
+}
+
+TEST(Mesh, FlitHopsAccumulate)
+{
+    Mesh mesh(mesh2x2());
+    mesh.deliver(0, 1, 72, 0.0); // 5 flits * 1 hop
+    mesh.deliver(0, 3, 72, 0.0); // 5 flits * 2 hops
+    EXPECT_EQ(mesh.stats().flitHops.value(), 15u);
+    EXPECT_EQ(mesh.stats().messages.value(), 2u);
+}
+
+TEST(Mesh, ContentionSerializesSameLink)
+{
+    Mesh mesh(mesh2x2());
+    const double first = mesh.deliver(0, 1, 72, 0.0);
+    const double second = mesh.deliver(0, 1, 72, 0.0);
+    EXPECT_GT(second, first); // queued behind the first 5 flits
+    EXPECT_GT(mesh.stats().queueWait, 0.0);
+}
+
+TEST(Mesh, DisjointLinksDoNotContend)
+{
+    Mesh mesh(mesh2x2());
+    const double a = mesh.deliver(0, 1, 72, 0.0);
+    const double b = mesh.deliver(3, 2, 72, 0.0);
+    EXPECT_DOUBLE_EQ(a, b); // opposite edge, no shared link
+}
+
+TEST(Mesh, XyRoutingIsDeterministicLatency)
+{
+    Mesh mesh(mesh2x2());
+    // All 1-hop pairs have identical zero-load latency.
+    Mesh m2(mesh2x2());
+    EXPECT_DOUBLE_EQ(mesh.deliver(1, 0, 8, 0.0),
+                     m2.deliver(2, 3, 8, 0.0));
+}
+
+TEST(Mesh, ClearOccupancyResetsContention)
+{
+    Mesh mesh(mesh2x2());
+    mesh.deliver(0, 1, 72, 0.0);
+    mesh.clearOccupancy();
+    EXPECT_DOUBLE_EQ(mesh.deliver(0, 1, 72, 0.0), 8.0);
+}
+
+TEST(Mesh, LargerMeshMultiHop)
+{
+    MeshConfig cfg;
+    cfg.cols = 4;
+    cfg.rows = 4;
+    Mesh mesh(cfg);
+    // Node 0 (0,0) -> node 15 (3,3): 6 hops.
+    EXPECT_DOUBLE_EQ(mesh.deliver(0, 15, 8, 0.0), 6.0 * 4.0);
+}
+
+TEST(Mesh, ThroughputOnHotLink)
+{
+    Mesh mesh(mesh2x2());
+    double last = 0.0;
+    for (int i = 0; i < 100; ++i)
+        last = mesh.deliver(0, 1, 72, 0.0);
+    // 100 x 5 flits over a 1-flit/cycle link: at least ~500 cycles.
+    EXPECT_GE(last, 400.0);
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the ROB-occupancy OoO core timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hh"
+
+namespace lva {
+namespace {
+
+CoreConfig
+core4x32()
+{
+    return CoreConfig{4, 32};
+}
+
+TEST(OoOCore, BandwidthLimitedRetirement)
+{
+    OoOCore core(core4x32());
+    core.executeInstructions(400);
+    EXPECT_DOUBLE_EQ(core.now(), 100.0);
+    EXPECT_EQ(core.instructionsRetired(), 400u);
+}
+
+TEST(OoOCore, HitsAreJustInstructions)
+{
+    OoOCore core(core4x32());
+    for (int i = 0; i < 8; ++i)
+        core.loadHit();
+    EXPECT_DOUBLE_EQ(core.now(), 2.0);
+}
+
+TEST(OoOCore, MissOverlapsWithRobWorthOfWork)
+{
+    OoOCore core(core4x32());
+    // Miss completing at cycle 100; 31 instructions fit in the ROB
+    // behind it (7.75 cycles of work), then the core stalls.
+    core.demandMiss(100.0);
+    core.executeInstructions(31);
+    EXPECT_LT(core.now(), 9.0);
+    core.executeInstructions(1); // 33rd instruction: ROB full
+    EXPECT_GE(core.now(), 100.0);
+    EXPECT_LT(core.now(), 101.0);
+}
+
+TEST(OoOCore, CompletedMissDoesNotStall)
+{
+    OoOCore core(core4x32());
+    core.demandMiss(1.0); // effectively already done
+    core.executeInstructions(1000);
+    EXPECT_DOUBLE_EQ(core.now(), 250.25);
+}
+
+TEST(OoOCore, MemoryLevelParallelism)
+{
+    // Two misses inside one ROB window both complete at ~t=100: the
+    // total stall is one epoch, not two.
+    OoOCore core(core4x32());
+    core.demandMiss(100.0);
+    core.executeInstructions(4);
+    core.demandMiss(101.0);
+    core.executeInstructions(200);
+    EXPECT_LT(core.now(), 160.0);
+}
+
+TEST(OoOCore, SerializedMissesPayFullLatencyEach)
+{
+    OoOCore core(core4x32());
+    core.demandMiss(100.0);
+    core.executeInstructions(100); // stalls at ~100
+    const double after_first = core.now();
+    EXPECT_GE(after_first, 100.0);
+    core.demandMiss(after_first + 100.0);
+    core.executeInstructions(100);
+    EXPECT_GE(core.now(), after_first + 100.0);
+}
+
+TEST(OoOCore, DrainAllWaitsForOutstanding)
+{
+    OoOCore core(core4x32());
+    core.demandMiss(500.0);
+    EXPECT_LT(core.now(), 2.0);
+    core.drainAll();
+    EXPECT_GE(core.now(), 500.0);
+}
+
+TEST(OoOCore, AdvanceToIsMonotone)
+{
+    OoOCore core(core4x32());
+    core.advanceTo(50.0);
+    EXPECT_DOUBLE_EQ(core.now(), 50.0);
+    core.advanceTo(10.0); // no backwards travel
+    EXPECT_DOUBLE_EQ(core.now(), 50.0);
+}
+
+TEST(OoOCore, MissLatencyAccounting)
+{
+    OoOCore core(core4x32());
+    core.demandMiss(40.0);
+    EXPECT_EQ(core.demandMisses(), 1u);
+    EXPECT_NEAR(core.missLatencySum(), 40.0, 1.0);
+}
+
+TEST(OoOCore, StoresNeverStall)
+{
+    OoOCore core(core4x32());
+    for (int i = 0; i < 100; ++i)
+        core.storeAccess();
+    EXPECT_DOUBLE_EQ(core.now(), 25.0);
+}
+
+/** Property: wider cores retire the same work in proportionally
+ *  fewer cycles. */
+class WidthSweep : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(WidthSweep, ComputeScalesWithWidth)
+{
+    const u32 width = GetParam();
+    OoOCore core(CoreConfig{width, 32});
+    core.executeInstructions(1200);
+    EXPECT_DOUBLE_EQ(core.now(), 1200.0 / width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the grayscale image / PGM writer used by Figure 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/pgm.hh"
+
+namespace lva {
+namespace {
+
+TEST(GrayImage, FillAndAccess)
+{
+    GrayImage img(4, 3, 7);
+    EXPECT_EQ(img.width(), 4u);
+    EXPECT_EQ(img.height(), 3u);
+    EXPECT_EQ(img.at(0, 0), 7);
+    img.set(2, 1, 200);
+    EXPECT_EQ(img.at(2, 1), 200);
+    EXPECT_EQ(img.pixels().size(), 12u);
+}
+
+TEST(GrayImage, FillCircleClipsAtBorders)
+{
+    GrayImage img(10, 10, 0);
+    img.fillCircle(0, 0, 3, 255); // mostly off-image: must not crash
+    EXPECT_EQ(img.at(0, 0), 255);
+    EXPECT_EQ(img.at(9, 9), 0);
+}
+
+TEST(GrayImage, FillCircleCoversRadius)
+{
+    GrayImage img(20, 20, 0);
+    img.fillCircle(10, 10, 3, 99);
+    EXPECT_EQ(img.at(10, 10), 99);
+    EXPECT_EQ(img.at(13, 10), 99);
+    EXPECT_EQ(img.at(10, 7), 99);
+    EXPECT_EQ(img.at(14, 10), 0); // outside radius
+}
+
+TEST(GrayImage, DrawLineEndpoints)
+{
+    GrayImage img(16, 16, 0);
+    img.drawLine(1, 1, 12, 9, 50);
+    EXPECT_EQ(img.at(1, 1), 50);
+    EXPECT_EQ(img.at(12, 9), 50);
+}
+
+TEST(GrayImage, DrawLineClipsOffImage)
+{
+    GrayImage img(8, 8, 0);
+    img.drawLine(-5, -5, 20, 20, 50); // diagonal through the image
+    EXPECT_EQ(img.at(3, 3), 50);
+}
+
+TEST(GrayImage, PgmHeaderAndPayload)
+{
+    const std::string path = "test_output_img.pgm";
+    GrayImage img(3, 2, 5);
+    img.set(0, 0, 1);
+    img.writePgm(path);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    u32 w = 0;
+    u32 h = 0;
+    u32 maxval = 0;
+    in >> magic >> w >> h >> maxval;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(w, 3u);
+    EXPECT_EQ(h, 2u);
+    EXPECT_EQ(maxval, 255u);
+    in.get(); // single whitespace after header
+    char buf[6];
+    in.read(buf, 6);
+    EXPECT_EQ(static_cast<int>(in.gcount()), 6);
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[1], 5);
+    std::filesystem::remove(path);
+}
+
+TEST(GrayImage, MeanAbsDiff)
+{
+    GrayImage a(2, 2, 10);
+    GrayImage b(2, 2, 10);
+    EXPECT_DOUBLE_EQ(GrayImage::meanAbsDiff(a, b), 0.0);
+    b.set(0, 0, 14);
+    EXPECT_DOUBLE_EQ(GrayImage::meanAbsDiff(a, b), 1.0);
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the GHB prefetcher baseline (delta correlation +
+ * next-line fallback).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/ghb_prefetcher.hh"
+
+namespace lva {
+namespace {
+
+GhbPrefetcherConfig
+testConfig(u32 degree)
+{
+    GhbPrefetcherConfig cfg;
+    cfg.degree = degree;
+    return cfg;
+}
+
+TEST(GhbPrefetcher, NextLineFallbackOnColdStream)
+{
+    GhbPrefetcher pf(testConfig(4));
+    const auto out = pf.onMiss(0x400, 0x10000);
+    ASSERT_EQ(out.size(), 1u); // fallback: a single next-line block
+    EXPECT_EQ(out[0], 0x10040u);
+    EXPECT_EQ(pf.stats().nextLine.value(), 1u);
+}
+
+TEST(GhbPrefetcher, DetectsConstantStride)
+{
+    GhbPrefetcher pf(testConfig(4));
+    std::vector<Addr> out;
+    // Stride of 2 blocks (128 B).
+    for (Addr a = 0x10000; a <= 0x10000 + 128 * 12; a += 128)
+        out = pf.onMiss(0x400, a);
+    ASSERT_EQ(out.size(), 4u);
+    const Addr last = 0x10000 + 128 * 12;
+    EXPECT_EQ(out[0], last + 128);
+    EXPECT_EQ(out[1], last + 256);
+    EXPECT_EQ(out[2], last + 384);
+    EXPECT_EQ(out[3], last + 512);
+    EXPECT_GT(pf.stats().deltaPredicts.value(), 0u);
+}
+
+TEST(GhbPrefetcher, DetectsAlternatingDeltaPattern)
+{
+    GhbPrefetcher pf(testConfig(2));
+    // Pattern: +1 block, +3 blocks, +1, +3, ... repeated.
+    Addr a = 0x20000;
+    std::vector<Addr> out;
+    for (int i = 0; i < 16; ++i) {
+        out = pf.onMiss(0x400, a);
+        a += (i % 2 == 0) ? 64 : 192;
+    }
+    // After an even count of deltas, the last two deltas were
+    // (+192, +64); the pattern predicts +192 then +64 next... the
+    // prediction must follow the recorded delta sequence exactly.
+    ASSERT_EQ(out.size(), 2u);
+    // Last miss was at a - 192 (i=15 added 192 after the call)...
+    // verify the predictions are block-aligned and strictly ahead.
+    for (const Addr p : out) {
+        EXPECT_EQ(p % 64, 0u);
+        EXPECT_GT(p, a - 192);
+    }
+    EXPECT_GT(pf.stats().deltaPredicts.value(), 0u);
+}
+
+TEST(GhbPrefetcher, PerPcLocalization)
+{
+    GhbPrefetcher pf(testConfig(2));
+    // Interleave two streams with different strides on different PCs;
+    // each should be predicted from its own history.
+    std::vector<Addr> out_a;
+    std::vector<Addr> out_b;
+    Addr a = 0x100000;
+    Addr b = 0x900000;
+    for (int i = 0; i < 12; ++i) {
+        out_a = pf.onMiss(0x400, a);
+        out_b = pf.onMiss(0x800, b);
+        a += 64;
+        b += 256;
+    }
+    ASSERT_FALSE(out_a.empty());
+    ASSERT_FALSE(out_b.empty());
+    EXPECT_EQ(out_a[0], (a - 64) + 64);
+    EXPECT_EQ(out_b[0], (b - 256) + 256);
+}
+
+TEST(GhbPrefetcher, DegreeBoundsPredictions)
+{
+    for (u32 degree : {1u, 2u, 8u, 16u}) {
+        GhbPrefetcher pf(testConfig(degree));
+        std::vector<Addr> out;
+        for (Addr a = 0; a < 64 * 64; a += 64)
+            out = pf.onMiss(0x400, a);
+        EXPECT_LE(out.size(), degree);
+        EXPECT_GE(out.size(), 1u);
+    }
+}
+
+TEST(GhbPrefetcher, DegreeZeroPredictsNothing)
+{
+    GhbPrefetcher pf(testConfig(0));
+    EXPECT_TRUE(pf.onMiss(0x400, 0x1000).empty());
+    EXPECT_TRUE(pf.onMiss(0x400, 0x1040).empty());
+}
+
+TEST(GhbPrefetcher, StatsCountIssued)
+{
+    GhbPrefetcher pf(testConfig(2));
+    pf.onMiss(0x400, 0x1000);
+    pf.onMiss(0x400, 0x2000);
+    EXPECT_EQ(pf.stats().misses.value(), 2u);
+    EXPECT_EQ(pf.stats().issued.value(), 2u); // 1 fallback each
+}
+
+TEST(GhbPrefetcher, SurvivesGhbWraparound)
+{
+    GhbPrefetcherConfig cfg;
+    cfg.ghbEntries = 16; // tiny GHB: links go stale quickly
+    cfg.indexEntries = 16;
+    cfg.degree = 2;
+    GhbPrefetcher pf(cfg);
+    // Many PCs thrash the tiny tables; must not crash or mispredict
+    // into garbage (only block-aligned addresses).
+    for (u32 i = 0; i < 1000; ++i) {
+        const auto out =
+            pf.onMiss(0x400 + (i % 7) * 4, 0x1000 + i * 64);
+        for (const Addr p : out)
+            EXPECT_EQ(p % 64, 0u);
+    }
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for saturating counters: the signed confidence counter
+ * and the approximation-degree down-counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace lva {
+namespace {
+
+TEST(SignedSatCounter, FromBitsRange)
+{
+    const auto c = SignedSatCounter::fromBits(4);
+    EXPECT_EQ(c.min(), -8);
+    EXPECT_EQ(c.max(), 7);
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SignedSatCounter, SaturatesHigh)
+{
+    auto c = SignedSatCounter::fromBits(4);
+    for (int i = 0; i < 100; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 7);
+    EXPECT_TRUE(c.saturatedHigh());
+    c.increment();
+    EXPECT_EQ(c.value(), 7);
+}
+
+TEST(SignedSatCounter, SaturatesLow)
+{
+    auto c = SignedSatCounter::fromBits(4);
+    for (int i = 0; i < 100; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), -8);
+    EXPECT_TRUE(c.saturatedLow());
+    c.decrement();
+    EXPECT_EQ(c.value(), -8);
+}
+
+TEST(SignedSatCounter, IncrementDecrementSymmetric)
+{
+    auto c = SignedSatCounter::fromBits(4);
+    c.increment(3);
+    EXPECT_EQ(c.value(), 3);
+    c.decrement(5);
+    EXPECT_EQ(c.value(), -2);
+}
+
+TEST(SignedSatCounter, MultiStepSaturatesAtBoundary)
+{
+    auto c = SignedSatCounter::fromBits(4, 5);
+    c.increment(10);
+    EXPECT_EQ(c.value(), 7);
+    c.decrement(100);
+    EXPECT_EQ(c.value(), -8);
+}
+
+TEST(SignedSatCounter, ResetClamps)
+{
+    auto c = SignedSatCounter::fromBits(4);
+    c.reset(100);
+    EXPECT_EQ(c.value(), 7);
+    c.reset(-100);
+    EXPECT_EQ(c.value(), -8);
+    c.reset(3);
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SignedSatCounter, ExplicitRange)
+{
+    SignedSatCounter c(-2, 2, 0);
+    c.increment(5);
+    EXPECT_EQ(c.value(), 2);
+    c.decrement(9);
+    EXPECT_EQ(c.value(), -2);
+}
+
+TEST(DegreeCounter, DegreeZeroAlwaysFetches)
+{
+    DegreeCounter d(0);
+    EXPECT_TRUE(d.atZero());
+    EXPECT_TRUE(d.consume());
+    EXPECT_TRUE(d.atZero());
+}
+
+TEST(DegreeCounter, CountsDownThenDemandsFetch)
+{
+    DegreeCounter d(3);
+    EXPECT_FALSE(d.atZero());
+    EXPECT_FALSE(d.consume()); // 3 -> 2
+    EXPECT_FALSE(d.consume()); // 2 -> 1
+    EXPECT_FALSE(d.consume()); // 1 -> 0
+    EXPECT_TRUE(d.atZero());
+    EXPECT_TRUE(d.consume()); // at zero: fetch is due
+}
+
+TEST(DegreeCounter, ResetRearms)
+{
+    DegreeCounter d(2);
+    d.consume();
+    d.consume();
+    EXPECT_TRUE(d.atZero());
+    d.reset();
+    EXPECT_EQ(d.value(), 2u);
+    EXPECT_FALSE(d.atZero());
+}
+
+TEST(DegreeCounter, SetMaxDegreeResets)
+{
+    DegreeCounter d(1);
+    d.consume();
+    d.setMaxDegree(5);
+    EXPECT_EQ(d.maxDegree(), 5u);
+    EXPECT_EQ(d.value(), 5u);
+}
+
+/**
+ * Property: for degree D, a full consume/reset cycle serves exactly
+ * D+1 misses per fetch — the 1:(D+1) fetch-to-miss ratio the paper
+ * derives (section III-C).
+ */
+class DegreeRatio : public ::testing::TestWithParam<u32>
+{
+};
+
+TEST_P(DegreeRatio, FetchToMissRatio)
+{
+    const u32 degree = GetParam();
+    DegreeCounter d(degree);
+    u64 misses = 0;
+    u64 fetches = 0;
+    for (u64 i = 0; i < 10 * (degree + 1); ++i) {
+        ++misses;
+        if (d.atZero()) {
+            ++fetches;
+            d.reset();
+        } else {
+            d.consume();
+        }
+    }
+    EXPECT_EQ(misses, fetches * (degree + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeRatio,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the statistics utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace lva {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStat, MatchesHandComputation)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    // Sample variance with Bessel's correction: 32 / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.sample(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.sample(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.sample(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0); // underflow
+    h.sample(0.0);  // bucket 0
+    h.sample(1.99); // bucket 0
+    h.sample(2.0);  // bucket 1
+    h.sample(9.99); // bucket 4
+    h.sample(10.0); // overflow
+    h.sample(50.0); // overflow
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Histogram, TotalEqualsSumOfBuckets)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i % 13) / 10.0);
+    u64 sum = h.underflow() + h.overflow();
+    for (std::size_t b = 0; b < h.buckets(); ++b)
+        sum += h.bucketCount(b);
+    EXPECT_EQ(sum, h.total());
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, SingleValue)
+{
+    EXPECT_NEAR(geomean({7.0}), 7.0, 1e-12);
+}
+
+} // namespace
+} // namespace lva

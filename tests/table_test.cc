@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the console/CSV table writer and formatters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace lva {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Table, RowAndColumnCounts)
+{
+    Table t({"a", "b"});
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    const std::string path = "test_output_table.csv";
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    t.writeCsv(path);
+    EXPECT_EQ(slurp(path), "name,value\nalpha,1\nbeta,2\n");
+    std::filesystem::remove(path);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    const std::string path = "test_output_escape.csv";
+    Table t({"x"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    t.writeCsv(path);
+    EXPECT_EQ(slurp(path), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+    std::filesystem::remove(path);
+}
+
+TEST(Table, CsvCreatesParentDirectories)
+{
+    const std::string path = "test_output_dir/nested/t.csv";
+    Table t({"x"});
+    t.addRow({"1"});
+    t.writeCsv(path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::filesystem::remove_all("test_output_dir");
+}
+
+TEST(Formatters, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(3.14159, 0), "3");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Formatters, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.126, 1), "12.6%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+    EXPECT_EQ(fmtPercent(-0.05, 1), "-5.0%");
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Round-trip tests for binary trace serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cpu/trace_io.hh"
+#include "sim/full_system.hh"
+#include "util/random.hh"
+
+namespace lva {
+namespace {
+
+std::vector<ThreadTrace>
+randomTraces(u64 seed)
+{
+    Rng rng(seed);
+    std::vector<ThreadTrace> traces(4);
+    for (auto &trace : traces) {
+        const u64 count = 50 + rng.below(100);
+        for (u64 i = 0; i < count; ++i) {
+            TraceEvent ev;
+            ev.addr = rng.next() & 0xffff'ffffULL;
+            ev.pc = static_cast<LoadSiteId>(rng.below(1 << 20));
+            ev.instrBefore = static_cast<u32>(rng.below(1000));
+            ev.isLoad = rng.chance(0.7);
+            ev.approximable = ev.isLoad && rng.chance(0.5);
+            ev.dependsOnPrev = ev.isLoad && rng.chance(0.2);
+            switch (rng.below(3)) {
+              case 0:
+                ev.value = Value::fromInt(
+                    static_cast<i64>(rng.next()));
+                break;
+              case 1:
+                ev.value = Value::fromFloat(
+                    static_cast<float>(rng.uniform(-10, 10)));
+                break;
+              default:
+                ev.value =
+                    Value::fromDouble(rng.uniform(-1e6, 1e6));
+            }
+            trace.push_back(ev);
+        }
+    }
+    return traces;
+}
+
+void
+expectEqual(const std::vector<ThreadTrace> &a,
+            const std::vector<ThreadTrace> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        ASSERT_EQ(a[t].size(), b[t].size()) << "thread " << t;
+        for (std::size_t i = 0; i < a[t].size(); ++i) {
+            const TraceEvent &x = a[t][i];
+            const TraceEvent &y = b[t][i];
+            EXPECT_EQ(x.addr, y.addr);
+            EXPECT_EQ(x.pc, y.pc);
+            EXPECT_EQ(x.instrBefore, y.instrBefore);
+            EXPECT_EQ(x.isLoad, y.isLoad);
+            EXPECT_EQ(x.approximable, y.approximable);
+            EXPECT_EQ(x.dependsOnPrev, y.dependsOnPrev);
+            EXPECT_TRUE(x.value.exactlyEquals(y.value))
+                << "thread " << t << " event " << i;
+        }
+    }
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const std::string path = "test_trace_roundtrip.bin";
+    const auto traces = randomTraces(42);
+    writeTraces(traces, path);
+    const auto back = readTraces(path);
+    expectEqual(traces, back);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, EmptyThreadsSurvive)
+{
+    const std::string path = "test_trace_empty.bin";
+    std::vector<ThreadTrace> traces(4); // all empty
+    writeTraces(traces, path);
+    const auto back = readTraces(path);
+    ASSERT_EQ(back.size(), 4u);
+    for (const auto &trace : back)
+        EXPECT_TRUE(trace.empty());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ReplayOfLoadedTraceMatchesOriginal)
+{
+    const std::string path = "test_trace_replay.bin";
+    const auto traces = randomTraces(7);
+    writeTraces(traces, path);
+    const auto back = readTraces(path);
+
+    FullSystemSim a(FullSystemConfig::lva(2));
+    FullSystemSim b(FullSystemConfig::lva(2));
+    const FullSystemResult ra = a.run(traces);
+    const FullSystemResult rb = b.run(back);
+    EXPECT_DOUBLE_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.l1Misses, rb.l1Misses);
+    EXPECT_EQ(ra.approxMisses, rb.approxMisses);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace lva

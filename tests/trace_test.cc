@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for trace recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/trace.hh"
+
+namespace lva {
+namespace {
+
+TEST(TraceRecorder, RecordsLoadsWithPayload)
+{
+    TraceRecorder rec(2);
+    rec.tickInstructions(0, 5);
+    const Value got =
+        rec.load(0, 0x400, 0x1234, Value::fromFloat(2.5f), true);
+    EXPECT_FLOAT_EQ(got.asFloat(), 2.5f); // recorder never clobbers
+
+    ASSERT_EQ(rec.traces()[0].size(), 1u);
+    const TraceEvent &ev = rec.traces()[0][0];
+    EXPECT_EQ(ev.addr, 0x1234u);
+    EXPECT_EQ(ev.pc, 0x400u);
+    EXPECT_EQ(ev.instrBefore, 5u);
+    EXPECT_TRUE(ev.isLoad);
+    EXPECT_TRUE(ev.approximable);
+    EXPECT_FALSE(ev.dependsOnPrev);
+    EXPECT_FLOAT_EQ(ev.value.asFloat(), 2.5f);
+}
+
+TEST(TraceRecorder, RecordsDependencyFlag)
+{
+    TraceRecorder rec(1);
+    rec.load(0, 0x400, 0x1000, Value::fromInt(1), false, true);
+    EXPECT_TRUE(rec.traces()[0][0].dependsOnPrev);
+}
+
+TEST(TraceRecorder, RecordsStores)
+{
+    TraceRecorder rec(1);
+    rec.tickInstructions(0, 3);
+    rec.store(0, 0x500, 0x2000);
+    const TraceEvent &ev = rec.traces()[0][0];
+    EXPECT_FALSE(ev.isLoad);
+    EXPECT_EQ(ev.instrBefore, 3u);
+    EXPECT_EQ(ev.addr, 0x2000u);
+}
+
+TEST(TraceRecorder, InstrBeforeResetsPerEvent)
+{
+    TraceRecorder rec(1);
+    rec.tickInstructions(0, 10);
+    rec.load(0, 0x400, 0x1000, Value::fromInt(1), false);
+    rec.load(0, 0x400, 0x1040, Value::fromInt(1), false);
+    EXPECT_EQ(rec.traces()[0][0].instrBefore, 10u);
+    EXPECT_EQ(rec.traces()[0][1].instrBefore, 0u);
+}
+
+TEST(TraceRecorder, ThreadsAreSeparate)
+{
+    TraceRecorder rec(3);
+    rec.load(0, 0x400, 0x1000, Value::fromInt(1), false);
+    rec.load(2, 0x400, 0x2000, Value::fromInt(1), false);
+    EXPECT_EQ(rec.traces()[0].size(), 1u);
+    EXPECT_EQ(rec.traces()[1].size(), 0u);
+    EXPECT_EQ(rec.traces()[2].size(), 1u);
+    EXPECT_EQ(rec.totalEvents(), 2u);
+}
+
+TEST(TraceRecorder, TotalInstructionsCountsMemOps)
+{
+    TraceRecorder rec(1);
+    rec.tickInstructions(0, 7);
+    rec.load(0, 0x400, 0x1000, Value::fromInt(1), false);
+    rec.store(0, 0x400, 0x1040);
+    EXPECT_EQ(rec.totalInstructions(), 9u); // 7 + load + store
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for remaining utility corners: printf-style formatting,
+ * Value::toString, estimator/mode/kind names, evaluator environment
+ * handling, and the approximator storage model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/approximator_config.hh"
+#include "eval/evaluator.hh"
+#include "util/logging.hh"
+#include "util/value.hh"
+
+namespace lva {
+namespace {
+
+TEST(Logging, VformatBasics)
+{
+    EXPECT_EQ(detail::vformat("plain"), "plain");
+    EXPECT_EQ(detail::vformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(detail::vformat("%.2f", 2.5), "2.50");
+    EXPECT_EQ(detail::vformat("%s", ""), "");
+}
+
+TEST(Logging, VformatLongStrings)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(detail::vformat("%s!", big.c_str()), big + "!");
+}
+
+TEST(Value, ToStringReflectsKind)
+{
+    EXPECT_EQ(Value::fromInt(-3).toString(), "-3");
+    EXPECT_NE(Value::fromFloat(1.5f).toString().find("1.5"),
+              std::string::npos);
+    EXPECT_NE(Value::fromDouble(2.25).toString().find("2.25"),
+              std::string::npos);
+}
+
+TEST(Names, EnumToString)
+{
+    EXPECT_STREQ(valueKindName(ValueKind::Int64), "Int64");
+    EXPECT_STREQ(valueKindName(ValueKind::Float32), "Float32");
+    EXPECT_STREQ(valueKindName(ValueKind::Float64), "Float64");
+    EXPECT_STREQ(estimatorName(Estimator::Average), "AVERAGE");
+    EXPECT_STREQ(estimatorName(Estimator::Last), "LAST");
+    EXPECT_STREQ(estimatorName(Estimator::Stride), "STRIDE");
+}
+
+TEST(EvaluatorEnv, ExplicitArgumentsOverrideEnvironment)
+{
+    setenv("LVA_SEEDS", "9", 1);
+    setenv("LVA_SCALE", "0.7", 1);
+    Evaluator eval(2, 0.1);
+    EXPECT_EQ(eval.seeds(), 2u);
+    EXPECT_DOUBLE_EQ(eval.scale(), 0.1);
+    unsetenv("LVA_SEEDS");
+    unsetenv("LVA_SCALE");
+}
+
+TEST(EvaluatorEnv, EnvironmentUsedWhenDefaulted)
+{
+    setenv("LVA_SEEDS", "3", 1);
+    setenv("LVA_SCALE", "0.25", 1);
+    Evaluator eval;
+    EXPECT_EQ(eval.seeds(), 3u);
+    EXPECT_DOUBLE_EQ(eval.scale(), 0.25);
+    unsetenv("LVA_SEEDS");
+    unsetenv("LVA_SCALE");
+}
+
+TEST(EvaluatorEnv, GarbageEnvironmentFallsBackToDefaults)
+{
+    setenv("LVA_SEEDS", "-4", 1);
+    setenv("LVA_SCALE", "999", 1);
+    Evaluator eval;
+    EXPECT_EQ(eval.seeds(), 5u);     // paper default
+    EXPECT_DOUBLE_EQ(eval.scale(), 1.0);
+    unsetenv("LVA_SEEDS");
+    unsetenv("LVA_SCALE");
+}
+
+TEST(StorageModel, ScalesWithGeometry)
+{
+    ApproximatorConfig small;
+    small.tableEntries = 128;
+    ApproximatorConfig big;
+    big.tableEntries = 1024;
+    EXPECT_LT(small.storageBytes(), big.storageBytes());
+
+    ApproximatorConfig deep;
+    deep.lhbEntries = 8;
+    ApproximatorConfig shallow;
+    shallow.lhbEntries = 2;
+    EXPECT_GT(deep.storageBytes(), shallow.storageBytes());
+
+    // 32-bit LHB values halve the dominant term.
+    const ApproximatorConfig base;
+    EXPECT_LT(base.storageBytes(4), base.storageBytes(8));
+}
+
+} // namespace
+} // namespace lva

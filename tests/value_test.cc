@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the tagged Value type: conversions, hashing with
+ * mantissa truncation, the relaxed confidence window, and the
+ * computation functions f (AVERAGE / LAST / STRIDE).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/value.hh"
+
+namespace lva {
+namespace {
+
+TEST(Value, IntRoundTrip)
+{
+    const Value v = Value::fromInt(-1234567890123LL);
+    EXPECT_EQ(v.kind(), ValueKind::Int64);
+    EXPECT_EQ(v.asInt(), -1234567890123LL);
+    EXPECT_DOUBLE_EQ(v.toReal(), -1234567890123.0);
+}
+
+TEST(Value, FloatRoundTrip)
+{
+    const Value v = Value::fromFloat(3.25f);
+    EXPECT_EQ(v.kind(), ValueKind::Float32);
+    EXPECT_FLOAT_EQ(v.asFloat(), 3.25f);
+    EXPECT_DOUBLE_EQ(v.toReal(), 3.25);
+}
+
+TEST(Value, DoubleRoundTrip)
+{
+    const Value v = Value::fromDouble(-0.001953125);
+    EXPECT_EQ(v.kind(), ValueKind::Float64);
+    EXPECT_DOUBLE_EQ(v.asDouble(), -0.001953125);
+}
+
+TEST(Value, OfKindRoundsIntegers)
+{
+    EXPECT_EQ(Value::ofKind(ValueKind::Int64, 41.6).asInt(), 42);
+    EXPECT_EQ(Value::ofKind(ValueKind::Int64, -41.6).asInt(), -42);
+    EXPECT_EQ(Value::ofKind(ValueKind::Int64, 0.4).asInt(), 0);
+}
+
+TEST(Value, OfKindPreservesFloatKinds)
+{
+    EXPECT_EQ(Value::ofKind(ValueKind::Float32, 1.5).kind(),
+              ValueKind::Float32);
+    EXPECT_EQ(Value::ofKind(ValueKind::Float64, 1.5).kind(),
+              ValueKind::Float64);
+}
+
+TEST(Value, ExactEqualityRequiresKindAndBits)
+{
+    EXPECT_TRUE(Value::fromInt(7).exactlyEquals(Value::fromInt(7)));
+    EXPECT_FALSE(Value::fromInt(7).exactlyEquals(Value::fromInt(8)));
+    // 1.0f and 1.0 have different kinds even if numerically equal.
+    EXPECT_FALSE(
+        Value::fromFloat(1.0f).exactlyEquals(Value::fromDouble(1.0)));
+}
+
+TEST(Value, HashBitsIdentityForIntegers)
+{
+    const Value v = Value::fromInt(0x1234);
+    EXPECT_EQ(v.hashBits(0), v.hashBits(23));
+}
+
+TEST(Value, HashBitsTruncatesFloatMantissa)
+{
+    // 1.000 and a value differing only in low mantissa bits should
+    // collide once enough bits are dropped (paper section VII-B).
+    const Value a = Value::fromFloat(1.0f);
+    const Value b = Value::fromFloat(std::nextafterf(1.0f, 2.0f));
+    EXPECT_NE(a.hashBits(0), b.hashBits(0));
+    EXPECT_EQ(a.hashBits(5), b.hashBits(5));
+}
+
+TEST(Value, HashBitsTruncationClampsAtMantissaWidth)
+{
+    const Value a = Value::fromFloat(1.5f);
+    // Dropping more than 23 bits must not clobber exponent/sign.
+    EXPECT_EQ(a.hashBits(23), a.hashBits(60));
+    EXPECT_NE(a.hashBits(60), 0u);
+}
+
+TEST(Value, HashBitsDoubleTruncation)
+{
+    const Value a = Value::fromDouble(2.0);
+    const Value b =
+        Value::fromDouble(std::nextafter(2.0, 3.0));
+    EXPECT_NE(a.hashBits(0), b.hashBits(0));
+    EXPECT_EQ(a.hashBits(8), b.hashBits(8));
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(-110.0, -100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(5.0, 5.0), 0.0);
+}
+
+TEST(RelativeError, ZeroActual)
+{
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(relativeError(0.001, 0.0)));
+}
+
+TEST(RelativeError, NanYieldsInfinity)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isinf(relativeError(nan, 1.0)));
+    EXPECT_TRUE(std::isinf(relativeError(1.0, nan)));
+}
+
+TEST(Window, ZeroWindowIsExactMatch)
+{
+    const Value a = Value::fromFloat(1.0f);
+    const Value b = Value::fromFloat(std::nextafterf(1.0f, 2.0f));
+    EXPECT_TRUE(withinWindow(a, a, 0.0));
+    EXPECT_FALSE(withinWindow(a, b, 0.0));
+}
+
+TEST(Window, TenPercentWindow)
+{
+    const Value actual = Value::fromDouble(100.0);
+    EXPECT_TRUE(withinWindow(Value::fromDouble(109.9), actual, 0.10));
+    EXPECT_TRUE(withinWindow(Value::fromDouble(90.1), actual, 0.10));
+    EXPECT_FALSE(withinWindow(Value::fromDouble(110.2), actual, 0.10));
+    EXPECT_FALSE(withinWindow(Value::fromDouble(89.8), actual, 0.10));
+}
+
+TEST(Window, InfiniteWindowAcceptsEverything)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(withinWindow(Value::fromDouble(1e30),
+                             Value::fromDouble(-1.0), inf));
+}
+
+TEST(Window, IntegerWindow)
+{
+    const Value actual = Value::fromInt(100);
+    EXPECT_TRUE(withinWindow(Value::fromInt(105), actual, 0.10));
+    EXPECT_FALSE(withinWindow(Value::fromInt(115), actual, 0.10));
+}
+
+TEST(Estimators, AverageOfFloats)
+{
+    const std::vector<Value> vals = {
+        Value::fromFloat(1.0f), Value::fromFloat(2.0f),
+        Value::fromFloat(3.0f), Value::fromFloat(6.0f)};
+    const Value avg = averageOf(vals);
+    EXPECT_EQ(avg.kind(), ValueKind::Float32);
+    EXPECT_FLOAT_EQ(avg.asFloat(), 3.0f);
+}
+
+TEST(Estimators, AverageOfIntsRounds)
+{
+    const std::vector<Value> vals = {Value::fromInt(1),
+                                     Value::fromInt(2)};
+    EXPECT_EQ(averageOf(vals).asInt(), 2); // 1.5 rounds to 2
+}
+
+TEST(Estimators, LastReturnsNewest)
+{
+    const std::vector<Value> vals = {Value::fromInt(1),
+                                     Value::fromInt(9)};
+    EXPECT_EQ(lastOf(vals).asInt(), 9);
+}
+
+TEST(Estimators, StrideExtrapolates)
+{
+    const std::vector<Value> vals = {
+        Value::fromDouble(10.0), Value::fromDouble(20.0),
+        Value::fromDouble(30.0)};
+    EXPECT_DOUBLE_EQ(strideOf(vals).asDouble(), 40.0);
+}
+
+TEST(Estimators, StrideSingleValueIsIdentity)
+{
+    const std::vector<Value> vals = {Value::fromDouble(5.0)};
+    EXPECT_DOUBLE_EQ(strideOf(vals).asDouble(), 5.0);
+}
+
+/** Property sweep: the window test is symmetric in sign and scales
+ *  with the magnitude of the actual value. */
+class WindowProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(WindowProperty, ScalesWithMagnitude)
+{
+    const double mag = GetParam();
+    const Value actual = Value::fromDouble(mag);
+    const Value inside = Value::fromDouble(mag * 1.09);
+    const Value outside = Value::fromDouble(mag * 1.11);
+    EXPECT_TRUE(withinWindow(inside, actual, 0.10)) << mag;
+    EXPECT_FALSE(withinWindow(outside, actual, 0.10)) << mag;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, WindowProperty,
+                         ::testing::Values(1e-6, 0.5, 1.0, 42.0, 1e12,
+                                           -1e-6, -7.0, -1e12));
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * lva_explore — command-line design-space exploration.
+ *
+ * Runs any workload under any approximator configuration and prints
+ * the phase-1 metrics, so new configurations can be explored without
+ * writing code:
+ *
+ *   lva_explore --workload canneal --degree 4 --window 0.2
+ *   lva_explore --workload ferret --mode lvp --ghb 2
+ *   lva_explore --workload all --estimator stride --seeds 3
+ *
+ * Options (defaults = paper baseline):
+ *   --workload NAME|all     benchmark to run          [all]
+ *   --mode lva|lvp|prefetch|precise                   [lva]
+ *   --ghb N                 global history entries    [0]
+ *   --lhb N                 local history entries     [4]
+ *   --table N               approximator table size   [512]
+ *   --window F              confidence window (inf ok)[0.10]
+ *   --conf-ints             apply confidence to ints  [off]
+ *   --no-conf               disable confidence        [off]
+ *   --proportional          proportional conf updates [off]
+ *   --degree N              approximation degree      [0]
+ *   --delay N               value delay (loads)       [4]
+ *   --mantissa-drop N       FP hash mantissa bits cut [0]
+ *   --estimator average|last|stride                   [average]
+ *   --prefetch-degree N     (prefetch mode)           [4]
+ *   --seeds N               averaging runs            [5]
+ *   --scale F               working-set scale         [1.0]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace lva;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "all";
+    ApproxMemory::Config cfg = Evaluator::baselineLva();
+    u32 seeds = 0;
+    double scale = 0.0;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME|all] [--mode "
+                 "lva|lvp|prefetch|precise]\n"
+                 "  [--ghb N] [--lhb N] [--table N] [--window F|inf]\n"
+                 "  [--conf-ints] [--no-conf] [--proportional]\n"
+                 "  [--degree N] [--delay N] [--mantissa-drop N]\n"
+                 "  [--estimator average|last|stride]\n"
+                 "  [--prefetch-degree N] [--seeds N] [--scale F]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload") {
+            opt.workload = need(i);
+        } else if (arg == "--mode") {
+            const std::string m = need(i);
+            if (m == "lva")
+                opt.cfg.mode = MemMode::Lva;
+            else if (m == "lvp")
+                opt.cfg.mode = MemMode::Lvp;
+            else if (m == "prefetch")
+                opt.cfg.mode = MemMode::Prefetch;
+            else if (m == "precise")
+                opt.cfg.mode = MemMode::Precise;
+            else
+                usage(argv[0]);
+        } else if (arg == "--ghb") {
+            opt.cfg.approx.ghbEntries =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--lhb") {
+            opt.cfg.approx.lhbEntries =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--table") {
+            opt.cfg.approx.tableEntries =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--window") {
+            const std::string w = need(i);
+            opt.cfg.approx.confidenceWindow =
+                (w == "inf")
+                    ? std::numeric_limits<double>::infinity()
+                    : std::atof(w.c_str());
+        } else if (arg == "--conf-ints") {
+            opt.cfg.approx.confidenceForInts = true;
+        } else if (arg == "--no-conf") {
+            opt.cfg.approx.confidenceDisabled = true;
+        } else if (arg == "--proportional") {
+            opt.cfg.approx.proportionalConfidence = true;
+        } else if (arg == "--degree") {
+            opt.cfg.approx.approxDegree =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--delay") {
+            opt.cfg.approx.valueDelay =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--mantissa-drop") {
+            opt.cfg.approx.mantissaDropBits =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--estimator") {
+            const std::string e = need(i);
+            if (e == "average")
+                opt.cfg.approx.estimator = Estimator::Average;
+            else if (e == "last")
+                opt.cfg.approx.estimator = Estimator::Last;
+            else if (e == "stride")
+                opt.cfg.approx.estimator = Estimator::Stride;
+            else
+                usage(argv[0]);
+        } else if (arg == "--prefetch-degree") {
+            opt.cfg.prefetch.degree =
+                static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--seeds") {
+            opt.seeds = static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(need(i));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    Evaluator eval(opt.seeds, opt.scale);
+
+    std::vector<std::string> names;
+    if (opt.workload == "all")
+        names = allWorkloadNames();
+    else
+        names.push_back(opt.workload);
+
+    std::printf("lva_explore: mode=%s ghb=%u lhb=%u table=%u "
+                "window=%.3g degree=%u delay=%u estimator=%s "
+                "seeds=%u scale=%.2f\n",
+                memModeName(opt.cfg.mode), opt.cfg.approx.ghbEntries,
+                opt.cfg.approx.lhbEntries,
+                opt.cfg.approx.tableEntries,
+                opt.cfg.approx.confidenceWindow,
+                opt.cfg.approx.approxDegree,
+                opt.cfg.approx.valueDelay,
+                estimatorName(opt.cfg.approx.estimator), eval.seeds(),
+                eval.scale());
+
+    Table table({"benchmark", "MPKI", "norm MPKI", "norm fetches",
+                 "coverage", "output error"});
+    for (const auto &name : names) {
+        const EvalResult r = eval.evaluate(name, opt.cfg);
+        table.addRow({name, fmtDouble(r.mpki, 3),
+                      fmtDouble(r.normMpki, 3),
+                      fmtDouble(r.normFetches, 3),
+                      fmtPercent(r.coverage, 1),
+                      fmtPercent(r.outputError, 1)});
+    }
+    table.print("results");
+    return 0;
+}
