@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confidence_step.dir/ablation_confidence_step.cc.o"
+  "CMakeFiles/ablation_confidence_step.dir/ablation_confidence_step.cc.o.d"
+  "ablation_confidence_step"
+  "ablation_confidence_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confidence_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hetero_noc.dir/ablation_hetero_noc.cc.o"
+  "CMakeFiles/ablation_hetero_noc.dir/ablation_hetero_noc.cc.o.d"
+  "ablation_hetero_noc"
+  "ablation_hetero_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hetero_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lhb_size.dir/ablation_lhb_size.cc.o"
+  "CMakeFiles/ablation_lhb_size.dir/ablation_lhb_size.cc.o.d"
+  "ablation_lhb_size"
+  "ablation_lhb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lhb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slow_fetch.dir/ablation_slow_fetch.cc.o"
+  "CMakeFiles/ablation_slow_fetch.dir/ablation_slow_fetch.cc.o.d"
+  "ablation_slow_fetch"
+  "ablation_slow_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slow_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_assoc.dir/ablation_table_assoc.cc.o"
+  "CMakeFiles/ablation_table_assoc.dir/ablation_table_assoc.cc.o.d"
+  "ablation_table_assoc"
+  "ablation_table_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fullsystem.dir/fig10_fullsystem.cc.o"
+  "CMakeFiles/fig10_fullsystem.dir/fig10_fullsystem.cc.o.d"
+  "fig10_fullsystem"
+  "fig10_fullsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fullsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

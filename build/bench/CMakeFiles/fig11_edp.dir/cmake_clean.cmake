@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_edp.dir/fig11_edp.cc.o"
+  "CMakeFiles/fig11_edp.dir/fig11_edp.cc.o.d"
+  "fig11_edp"
+  "fig11_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_static_loads.dir/fig12_static_loads.cc.o"
+  "CMakeFiles/fig12_static_loads.dir/fig12_static_loads.cc.o.d"
+  "fig12_static_loads"
+  "fig12_static_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_static_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_precision.dir/fig13_precision.cc.o"
+  "CMakeFiles/fig13_precision.dir/fig13_precision.cc.o.d"
+  "fig13_precision"
+  "fig13_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

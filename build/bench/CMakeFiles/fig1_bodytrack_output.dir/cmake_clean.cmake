@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bodytrack_output.dir/fig1_bodytrack_output.cc.o"
+  "CMakeFiles/fig1_bodytrack_output.dir/fig1_bodytrack_output.cc.o.d"
+  "fig1_bodytrack_output"
+  "fig1_bodytrack_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bodytrack_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

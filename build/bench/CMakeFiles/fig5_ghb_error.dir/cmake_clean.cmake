@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ghb_error.dir/fig5_ghb_error.cc.o"
+  "CMakeFiles/fig5_ghb_error.dir/fig5_ghb_error.cc.o.d"
+  "fig5_ghb_error"
+  "fig5_ghb_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ghb_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

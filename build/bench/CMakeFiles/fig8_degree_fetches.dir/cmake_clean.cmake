@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_degree_fetches.dir/fig8_degree_fetches.cc.o"
+  "CMakeFiles/fig8_degree_fetches.dir/fig8_degree_fetches.cc.o.d"
+  "fig8_degree_fetches"
+  "fig8_degree_fetches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_degree_fetches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

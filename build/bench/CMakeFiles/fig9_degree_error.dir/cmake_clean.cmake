@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_degree_error.dir/fig9_degree_error.cc.o"
+  "CMakeFiles/fig9_degree_error.dir/fig9_degree_error.cc.o.d"
+  "fig9_degree_error"
+  "fig9_degree_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_degree_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

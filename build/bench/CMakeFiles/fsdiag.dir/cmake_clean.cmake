@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdiag.dir/fsdiag.cc.o"
+  "CMakeFiles/fsdiag.dir/fsdiag.cc.o.d"
+  "fsdiag"
+  "fsdiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_approximator.dir/micro_approximator.cc.o"
+  "CMakeFiles/micro_approximator.dir/micro_approximator.cc.o.d"
+  "micro_approximator"
+  "micro_approximator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_approximator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mpki.dir/table1_mpki.cc.o"
+  "CMakeFiles/table1_mpki.dir/table1_mpki.cc.o.d"
+  "table1_mpki"
+  "table1_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

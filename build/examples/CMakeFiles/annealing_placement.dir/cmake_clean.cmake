@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annealing_placement.dir/annealing_placement.cpp.o"
+  "CMakeFiles/annealing_placement.dir/annealing_placement.cpp.o.d"
+  "annealing_placement"
+  "annealing_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annealing_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

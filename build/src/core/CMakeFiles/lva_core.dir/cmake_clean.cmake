@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_core.dir/approx_memory.cc.o"
+  "CMakeFiles/lva_core.dir/approx_memory.cc.o.d"
+  "CMakeFiles/lva_core.dir/approximator.cc.o"
+  "CMakeFiles/lva_core.dir/approximator.cc.o.d"
+  "CMakeFiles/lva_core.dir/lvp.cc.o"
+  "CMakeFiles/lva_core.dir/lvp.cc.o.d"
+  "liblva_core.a"
+  "liblva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/trace.cc" "src/cpu/CMakeFiles/lva_cpu.dir/trace.cc.o" "gcc" "src/cpu/CMakeFiles/lva_cpu.dir/trace.cc.o.d"
+  "/root/repo/src/cpu/trace_io.cc" "src/cpu/CMakeFiles/lva_cpu.dir/trace_io.cc.o" "gcc" "src/cpu/CMakeFiles/lva_cpu.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lva_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/lva_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

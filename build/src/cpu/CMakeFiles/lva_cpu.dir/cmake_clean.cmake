@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_cpu.dir/trace.cc.o"
+  "CMakeFiles/lva_cpu.dir/trace.cc.o.d"
+  "CMakeFiles/lva_cpu.dir/trace_io.cc.o"
+  "CMakeFiles/lva_cpu.dir/trace_io.cc.o.d"
+  "liblva_cpu.a"
+  "liblva_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

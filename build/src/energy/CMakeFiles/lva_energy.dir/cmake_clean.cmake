@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_energy.dir/energy_model.cc.o"
+  "CMakeFiles/lva_energy.dir/energy_model.cc.o.d"
+  "liblva_energy.a"
+  "liblva_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

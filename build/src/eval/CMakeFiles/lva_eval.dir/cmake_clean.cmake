@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_eval.dir/evaluator.cc.o"
+  "CMakeFiles/lva_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/lva_eval.dir/fullsystem_eval.cc.o"
+  "CMakeFiles/lva_eval.dir/fullsystem_eval.cc.o.d"
+  "CMakeFiles/lva_eval.dir/stat_report.cc.o"
+  "CMakeFiles/lva_eval.dir/stat_report.cc.o.d"
+  "liblva_eval.a"
+  "liblva_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_mem.dir/cache.cc.o"
+  "CMakeFiles/lva_mem.dir/cache.cc.o.d"
+  "liblva_mem.a"
+  "liblva_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

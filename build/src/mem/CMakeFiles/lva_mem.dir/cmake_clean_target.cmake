@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblva_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_noc.dir/mesh.cc.o"
+  "CMakeFiles/lva_noc.dir/mesh.cc.o.d"
+  "liblva_noc.a"
+  "liblva_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

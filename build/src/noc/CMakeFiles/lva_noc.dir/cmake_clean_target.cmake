@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblva_noc.a"
+)

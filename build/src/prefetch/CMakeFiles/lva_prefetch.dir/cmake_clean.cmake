@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_prefetch.dir/ghb_prefetcher.cc.o"
+  "CMakeFiles/lva_prefetch.dir/ghb_prefetcher.cc.o.d"
+  "liblva_prefetch.a"
+  "liblva_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_sim.dir/full_system.cc.o"
+  "CMakeFiles/lva_sim.dir/full_system.cc.o.d"
+  "liblva_sim.a"
+  "liblva_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

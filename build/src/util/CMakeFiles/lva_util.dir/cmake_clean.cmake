@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_util.dir/logging.cc.o"
+  "CMakeFiles/lva_util.dir/logging.cc.o.d"
+  "CMakeFiles/lva_util.dir/pgm.cc.o"
+  "CMakeFiles/lva_util.dir/pgm.cc.o.d"
+  "CMakeFiles/lva_util.dir/stat_dump.cc.o"
+  "CMakeFiles/lva_util.dir/stat_dump.cc.o.d"
+  "CMakeFiles/lva_util.dir/stats.cc.o"
+  "CMakeFiles/lva_util.dir/stats.cc.o.d"
+  "CMakeFiles/lva_util.dir/table.cc.o"
+  "CMakeFiles/lva_util.dir/table.cc.o.d"
+  "CMakeFiles/lva_util.dir/value.cc.o"
+  "CMakeFiles/lva_util.dir/value.cc.o.d"
+  "liblva_util.a"
+  "liblva_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

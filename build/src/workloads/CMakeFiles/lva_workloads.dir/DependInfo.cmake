@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/blackscholes.cc" "src/workloads/CMakeFiles/lva_workloads.dir/blackscholes.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/blackscholes.cc.o.d"
+  "/root/repo/src/workloads/bodytrack.cc" "src/workloads/CMakeFiles/lva_workloads.dir/bodytrack.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/bodytrack.cc.o.d"
+  "/root/repo/src/workloads/canneal.cc" "src/workloads/CMakeFiles/lva_workloads.dir/canneal.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/canneal.cc.o.d"
+  "/root/repo/src/workloads/ferret.cc" "src/workloads/CMakeFiles/lva_workloads.dir/ferret.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/ferret.cc.o.d"
+  "/root/repo/src/workloads/fluidanimate.cc" "src/workloads/CMakeFiles/lva_workloads.dir/fluidanimate.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/fluidanimate.cc.o.d"
+  "/root/repo/src/workloads/swaptions.cc" "src/workloads/CMakeFiles/lva_workloads.dir/swaptions.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/swaptions.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/lva_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/x264.cc" "src/workloads/CMakeFiles/lva_workloads.dir/x264.cc.o" "gcc" "src/workloads/CMakeFiles/lva_workloads.dir/x264.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lva_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/lva_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_workloads.dir/blackscholes.cc.o"
+  "CMakeFiles/lva_workloads.dir/blackscholes.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/bodytrack.cc.o"
+  "CMakeFiles/lva_workloads.dir/bodytrack.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/canneal.cc.o"
+  "CMakeFiles/lva_workloads.dir/canneal.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/ferret.cc.o"
+  "CMakeFiles/lva_workloads.dir/ferret.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/fluidanimate.cc.o"
+  "CMakeFiles/lva_workloads.dir/fluidanimate.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/swaptions.cc.o"
+  "CMakeFiles/lva_workloads.dir/swaptions.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/workload.cc.o"
+  "CMakeFiles/lva_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/lva_workloads.dir/x264.cc.o"
+  "CMakeFiles/lva_workloads.dir/x264.cc.o.d"
+  "liblva_workloads.a"
+  "liblva_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_memory_test.dir/approx_memory_test.cc.o"
+  "CMakeFiles/approx_memory_test.dir/approx_memory_test.cc.o.d"
+  "approx_memory_test"
+  "approx_memory_test.pdb"
+  "approx_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

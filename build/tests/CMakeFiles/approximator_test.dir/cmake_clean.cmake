@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximator_test.dir/approximator_test.cc.o"
+  "CMakeFiles/approximator_test.dir/approximator_test.cc.o.d"
+  "approximator_test"
+  "approximator_test.pdb"
+  "approximator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

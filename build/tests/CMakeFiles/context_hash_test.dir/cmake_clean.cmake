@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_hash_test.dir/context_hash_test.cc.o"
+  "CMakeFiles/context_hash_test.dir/context_hash_test.cc.o.d"
+  "context_hash_test"
+  "context_hash_test.pdb"
+  "context_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/full_system_test.cc" "tests/CMakeFiles/full_system_test.dir/full_system_test.cc.o" "gcc" "tests/CMakeFiles/full_system_test.dir/full_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lva_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lva_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lva_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/lva_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lva_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/lva_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/lva_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lva_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

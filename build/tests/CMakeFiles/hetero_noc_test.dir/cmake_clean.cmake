@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_noc_test.dir/hetero_noc_test.cc.o"
+  "CMakeFiles/hetero_noc_test.dir/hetero_noc_test.cc.o.d"
+  "hetero_noc_test"
+  "hetero_noc_test.pdb"
+  "hetero_noc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_noc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

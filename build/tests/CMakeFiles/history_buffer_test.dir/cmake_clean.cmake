@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_buffer_test.dir/history_buffer_test.cc.o"
+  "CMakeFiles/history_buffer_test.dir/history_buffer_test.cc.o.d"
+  "history_buffer_test"
+  "history_buffer_test.pdb"
+  "history_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvp_test.dir/lvp_test.cc.o"
+  "CMakeFiles/lvp_test.dir/lvp_test.cc.o.d"
+  "lvp_test"
+  "lvp_test.pdb"
+  "lvp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesi_test.dir/mesi_test.cc.o"
+  "CMakeFiles/mesi_test.dir/mesi_test.cc.o.d"
+  "mesi_test"
+  "mesi_test.pdb"
+  "mesi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proportional_confidence_test.dir/proportional_confidence_test.cc.o"
+  "CMakeFiles/proportional_confidence_test.dir/proportional_confidence_test.cc.o.d"
+  "proportional_confidence_test"
+  "proportional_confidence_test.pdb"
+  "proportional_confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proportional_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

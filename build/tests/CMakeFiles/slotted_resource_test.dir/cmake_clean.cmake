@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slotted_resource_test.dir/slotted_resource_test.cc.o"
+  "CMakeFiles/slotted_resource_test.dir/slotted_resource_test.cc.o.d"
+  "slotted_resource_test"
+  "slotted_resource_test.pdb"
+  "slotted_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slotted_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_report_test.dir/stat_report_test.cc.o"
+  "CMakeFiles/stat_report_test.dir/stat_report_test.cc.o.d"
+  "stat_report_test"
+  "stat_report_test.pdb"
+  "stat_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

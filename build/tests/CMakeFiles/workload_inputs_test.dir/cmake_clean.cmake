@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_inputs_test.dir/workload_inputs_test.cc.o"
+  "CMakeFiles/workload_inputs_test.dir/workload_inputs_test.cc.o.d"
+  "workload_inputs_test"
+  "workload_inputs_test.pdb"
+  "workload_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

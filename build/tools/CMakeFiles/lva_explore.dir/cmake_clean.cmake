@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_explore.dir/lva_explore.cc.o"
+  "CMakeFiles/lva_explore.dir/lva_explore.cc.o.d"
+  "lva_explore"
+  "lva_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lva_trace.dir/lva_trace.cc.o"
+  "CMakeFiles/lva_trace.dir/lva_trace.cc.o.d"
+  "lva_trace"
+  "lva_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lva_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
