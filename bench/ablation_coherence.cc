@@ -10,6 +10,8 @@
 
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -18,6 +20,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_coherence");
     std::printf("Coherence-protocol ablation (scale=%.2f)\n",
                 fsScaleFromEnv());
 
@@ -29,7 +32,10 @@ main()
                  "LVA speedup (MESI)",
                  "baseline traffic change (MESI vs MSI)"});
 
-    for (const auto &name : allWorkloadNames()) {
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const auto rows = runner.map(names.size(), [&](u64 i) {
+        const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
         params.scale = fsScaleFromEnv();
@@ -56,14 +62,17 @@ main()
         const FullSystemResult mesi_lva =
             run(CoherenceProtocol::Mesi, true);
 
-        table.addRow(
+        return std::vector<std::string>(
             {name,
              fmtPercent(msi_base.cycles / msi_lva.cycles - 1.0, 1),
              fmtPercent(mesi_base.cycles / mesi_lva.cycles - 1.0, 1),
              fmtPercent(static_cast<double>(mesi_base.flitHops) /
                                 static_cast<double>(
                                     msi_base.flitHops) - 1.0, 1)});
-    }
+    });
+
+    for (const auto &row : rows)
+        table.addRow(row);
 
     table.print("LVA (degree 4) speedup under MSI vs MESI");
     table.writeCsv("results/ablation_coherence.csv");

@@ -10,7 +10,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -18,6 +19,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_confidence_step");
     Evaluator eval;
     std::printf("Proportional-confidence ablation (seeds=%u, "
                 "scale=%.2f)\n",
@@ -26,6 +28,7 @@ main()
     Table table({"benchmark", "MPKI fixed", "MPKI proportional",
                  "error fixed", "error proportional"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         ApproxMemory::Config fixed = Evaluator::baselineLva();
         fixed.approx.confidenceForInts = true;
@@ -34,8 +37,17 @@ main()
         ApproxMemory::Config prop = fixed;
         prop.approx.proportionalConfidence = true;
 
-        const EvalResult rf = eval.evaluate(name, fixed);
-        const EvalResult rp = eval.evaluate(name, prop);
+        points.push_back({"fixed", name, fixed});
+        points.push_back({"proportional", name, prop});
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        const EvalResult &rf = results[next++];
+        const EvalResult &rp = results[next++];
         table.addRow({name, fmtDouble(rf.normMpki, 3),
                       fmtDouble(rp.normMpki, 3),
                       fmtPercent(rf.outputError, 1),

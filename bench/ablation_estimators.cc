@@ -8,7 +8,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -16,6 +17,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_estimators");
     Evaluator eval;
     std::printf("Estimator ablation (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -28,13 +30,24 @@ main()
 
     std::vector<double> mpki_sum(3, 0.0), err_sum(3, 0.0);
 
+    std::vector<SweepPoint> points;
+    for (const auto &name : allWorkloadNames()) {
+        for (u32 i = 0; i < 3; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.estimator = fns[i];
+            points.push_back({"estimator", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
         std::vector<std::string> m_row = {name};
         std::vector<std::string> e_row = {name};
         for (u32 i = 0; i < 3; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.estimator = fns[i];
-            const EvalResult r = eval.evaluate(name, cfg);
+            const EvalResult &r = results[next++];
             m_row.push_back(fmtDouble(r.normMpki, 3));
             e_row.push_back(fmtPercent(r.outputError, 1));
             mpki_sum[i] += r.normMpki;

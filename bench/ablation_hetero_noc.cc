@@ -12,6 +12,8 @@
 
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -20,6 +22,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_hetero_noc");
     std::printf("Heterogeneous-NoC ablation (scale=%.2f)\n",
                 fsScaleFromEnv());
 
@@ -27,7 +30,10 @@ main()
                  "NoC energy homo", "NoC energy hetero",
                  "energy savings homo", "energy savings hetero"});
 
-    for (const auto &name : allWorkloadNames()) {
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const auto rows = runner.map(names.size(), [&](u64 i) {
+        const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
         params.scale = fsScaleFromEnv();
@@ -48,7 +54,7 @@ main()
         FullSystemSim hetero_sim(hetero_cfg);
         const FullSystemResult hetero = hetero_sim.run(rec.traces());
 
-        table.addRow(
+        return std::vector<std::string>(
             {name, fmtPercent(base.cycles / homo.cycles - 1.0, 1),
              fmtPercent(base.cycles / hetero.cycles - 1.0, 1),
              fmtDouble(homo.energy.noc, 1),
@@ -57,7 +63,10 @@ main()
                                   base.energy.total(), 1),
              fmtPercent(1.0 - hetero.energy.total() /
                                   base.energy.total(), 1)});
-    }
+    });
+
+    for (const auto &row : rows)
+        table.addRow(row);
 
     table.print("LVA (degree 4): homogeneous vs heterogeneous NoC "
                 "for training fetches");

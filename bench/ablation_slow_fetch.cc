@@ -12,6 +12,8 @@
 
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -20,6 +22,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_slow_fetch");
     const u32 extras[] = {0, 100, 300};
     std::printf("Slow-training-fetch ablation (scale=%.2f)\n",
                 fsScaleFromEnv());
@@ -27,7 +30,10 @@ main()
     Table table({"benchmark", "+0 cycles", "+100 cycles",
                  "+300 cycles"});
 
-    for (const auto &name : allWorkloadNames()) {
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const auto rows = runner.map(names.size(), [&](u64 i) {
+        const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
         params.scale = fsScaleFromEnv();
@@ -48,8 +54,11 @@ main()
             row.push_back(
                 fmtPercent(base.cycles / r.cycles - 1.0, 1));
         }
+        return row;
+    });
+
+    for (const auto &row : rows)
         table.addRow(row);
-    }
 
     table.print("LVA (degree 4) speedup with deprioritized training "
                 "fetches");

@@ -9,7 +9,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -17,6 +18,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_table_assoc");
     Evaluator eval;
     std::printf("Table-associativity ablation (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -26,16 +28,27 @@ main()
     Table mpki({"benchmark", "1-way", "2-way", "4-way", "8-way"});
     Table error({"benchmark", "1-way", "2-way", "4-way", "8-way"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> m_row = {name};
-        std::vector<std::string> e_row = {name};
         for (u32 w : ways) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             // GHB 2 makes contexts value-dependent, where aliasing
             // actually occurs (PC-only contexts are too few to alias).
             cfg.approx.ghbEntries = 2;
             cfg.approx.tableAssoc = w;
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({"ways", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> m_row = {name};
+        std::vector<std::string> e_row = {name};
+        for (std::size_t i = 0; i < std::size(ways); ++i) {
+            const EvalResult &r = results[next++];
             m_row.push_back(fmtDouble(r.normMpki, 3));
             e_row.push_back(fmtPercent(r.outputError, 1));
         }

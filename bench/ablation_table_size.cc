@@ -8,7 +8,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -16,6 +17,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("ablation_table_size");
     Evaluator eval;
     std::printf("Table-size ablation (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -25,13 +27,24 @@ main()
     Table mpki({"benchmark", "32", "128", "512", "2048"});
     Table error({"benchmark", "32", "128", "512", "2048"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> m_row = {name};
-        std::vector<std::string> e_row = {name};
         for (u32 entries : sizes) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.tableEntries = entries;
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({"entries", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> m_row = {name};
+        std::vector<std::string> e_row = {name};
+        for (std::size_t i = 0; i < std::size(sizes); ++i) {
+            const EvalResult &r = results[next++];
             m_row.push_back(fmtDouble(r.normMpki, 3));
             e_row.push_back(fmtPercent(r.outputError, 1));
         }

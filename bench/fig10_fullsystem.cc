@@ -13,6 +13,8 @@
 #include <cstdio>
 
 #include "eval/fullsystem_eval.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -21,6 +23,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig10_fullsystem");
     const std::vector<u32> degrees = {0, 2, 4, 8, 16};
     std::printf("Figure 10 reproduction (scale=%.2f)\n",
                 fsScaleFromEnv());
@@ -35,8 +38,16 @@ main()
     double lat_red_sum = 0.0;
     double traffic_red_sum = 0.0;
 
-    for (const auto &name : allWorkloadNames()) {
-        const FsSweep sweep = runFullSystemSweep(name, degrees);
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const std::vector<FsSweep> sweeps =
+        runner.map(names.size(), [&](u64 i) {
+            return runFullSystemSweep(names[i], degrees);
+        });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const FsSweep &sweep = sweeps[w];
         std::vector<std::string> sp_row = {name};
         std::vector<std::string> en_row = {name};
         for (std::size_t i = 0; i < degrees.size(); ++i) {

@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "eval/fullsystem_eval.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -17,6 +19,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig11_edp");
     const std::vector<u32> degrees = {0, 2, 4, 8, 16};
     std::printf("Figure 11 reproduction (scale=%.2f)\n",
                 fsScaleFromEnv());
@@ -26,8 +29,16 @@ main()
 
     std::vector<double> edp_sum(degrees.size(), 0.0);
 
-    for (const auto &name : allWorkloadNames()) {
-        const FsSweep sweep = runFullSystemSweep(name, degrees);
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const std::vector<FsSweep> sweeps =
+        runner.map(names.size(), [&](u64 i) {
+            return runFullSystemSweep(names[i], degrees);
+        });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const FsSweep &sweep = sweeps[w];
         std::vector<std::string> row = {name};
         for (std::size_t i = 0; i < degrees.size(); ++i) {
             row.push_back(fmtDouble(sweep.normMissEdp(i), 3));

@@ -11,8 +11,10 @@
  */
 
 #include <cstdio>
+#include <utility>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -20,18 +22,25 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig12_static_loads");
     Table table({"benchmark", "static approx loads",
                  "all static loads"});
 
     WorkloadParams params;
     params.scale = 0.05; // site counts are static: tiny inputs suffice
 
-    for (const auto &name : allWorkloadNames()) {
-        auto w = makeWorkload(name, params);
-        u32 total = static_cast<u32>(w->loadSites().size());
-        table.addRow({name, std::to_string(w->approxLoadSites()),
-                      std::to_string(total)});
-    }
+    const auto &names = allWorkloadNames();
+    SweepRunner runner;
+    const auto counts = runner.map(names.size(), [&](u64 i) {
+        auto w = makeWorkload(names[i], params);
+        return std::make_pair(
+            w->approxLoadSites(),
+            static_cast<u32>(w->loadSites().size()));
+    });
+
+    for (std::size_t i = 0; i < names.size(); ++i)
+        table.addRow({names[i], std::to_string(counts[i].first),
+                      std::to_string(counts[i].second)});
 
     table.print("Figure 12: static (distinct) PCs of approximate loads");
     table.writeCsv("results/fig12_static_loads.csv");

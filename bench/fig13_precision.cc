@@ -8,7 +8,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -16,6 +17,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig13_precision");
     Evaluator eval;
     std::printf("Figure 13 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -25,13 +27,22 @@ main()
     Table table({"precision loss (bits)", "normalized MPKI",
                  "output error", "coverage"});
 
+    std::vector<SweepPoint> points;
     for (u32 drop : drops) {
         ApproxMemory::Config cfg = Evaluator::baselineLva();
         cfg.approx.ghbEntries = 2;
         cfg.approx.confidenceDisabled = true;
         cfg.approx.mantissaDropBits = drop;
-        const EvalResult r = eval.evaluate("fluidanimate", cfg);
-        table.addRow({std::to_string(drop), fmtDouble(r.normMpki, 3),
+        points.push_back({"drop", "fluidanimate", cfg});
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    for (std::size_t i = 0; i < std::size(drops); ++i) {
+        const EvalResult &r = results[i];
+        table.addRow({std::to_string(drops[i]),
+                      fmtDouble(r.normMpki, 3),
                       fmtPercent(r.outputError, 1),
                       fmtPercent(r.coverage, 1)});
     }

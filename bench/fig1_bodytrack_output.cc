@@ -6,9 +6,11 @@
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "core/approx_memory.hh"
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/bodytrack.hh"
 
@@ -17,20 +19,22 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig1_bodytrack_output");
     WorkloadParams params;
     params.seed = 1;
 
-    // Precise run.
-    BodytrackWorkload precise(params);
-    precise.generate();
-    ApproxMemory precise_mem(Evaluator::preciseConfig());
-    precise.run(precise_mem);
-
-    // Approximate run (baseline LVA).
-    BodytrackWorkload approx(params);
-    approx.generate();
-    ApproxMemory approx_mem(Evaluator::baselineLva());
-    approx.run(approx_mem);
+    // Run precise (index 0) and baseline LVA (index 1) in parallel.
+    SweepRunner runner;
+    auto runs = runner.map(2, [&](u64 i) {
+        auto w = std::make_unique<BodytrackWorkload>(params);
+        w->generate();
+        ApproxMemory mem(i == 0 ? Evaluator::preciseConfig()
+                                : Evaluator::baselineLva());
+        w->run(mem);
+        return w;
+    });
+    BodytrackWorkload &precise = *runs[0];
+    BodytrackWorkload &approx = *runs[1];
 
     precise.renderTrack().writePgm("results/fig1_precise.pgm");
     approx.renderTrack().writePgm("results/fig1_approx.pgm");

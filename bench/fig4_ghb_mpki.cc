@@ -7,7 +7,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -15,6 +16,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig4_ghb_mpki");
     Evaluator eval;
     std::printf("Figure 4 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -27,20 +29,35 @@ main()
 
     std::vector<double> lvp_sum(4, 0.0), lva_sum(4, 0.0);
 
+    // 8 sweep points per benchmark: LVP then LVA across GHB sizes.
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> row = {name};
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.mode = MemMode::Lvp;
             cfg.approx.ghbEntries = ghb_sizes[i];
-            const EvalResult r = eval.evaluate(name, cfg);
-            row.push_back(fmtDouble(r.normMpki, 3));
-            lvp_sum[i] += r.normMpki;
+            points.push_back({"lvp", name, cfg});
         }
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.ghbEntries = ghb_sizes[i];
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({"lva", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        for (u32 i = 0; i < 4; ++i) {
+            const EvalResult &r = results[next++];
+            row.push_back(fmtDouble(r.normMpki, 3));
+            lvp_sum[i] += r.normMpki;
+        }
+        for (u32 i = 0; i < 4; ++i) {
+            const EvalResult &r = results[next++];
             row.push_back(fmtDouble(r.normMpki, 3));
             lva_sum[i] += r.normMpki;
         }

@@ -6,7 +6,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -14,6 +15,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig5_ghb_error");
     Evaluator eval;
     std::printf("Figure 5 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -23,13 +25,24 @@ main()
     Table table({"benchmark", "GHB-0", "GHB-1", "GHB-2", "GHB-4",
                  "coverage@GHB-0"});
 
+    std::vector<SweepPoint> points;
+    for (const auto &name : allWorkloadNames()) {
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.ghbEntries = ghb_sizes[i];
+            points.push_back({"ghb", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
         std::vector<std::string> row = {name};
         double coverage0 = 0.0;
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.ghbEntries = ghb_sizes[i];
-            const EvalResult r = eval.evaluate(name, cfg);
+            const EvalResult &r = results[next++];
             row.push_back(fmtPercent(r.outputError, 1));
             if (i == 0)
                 coverage0 = r.coverage;

@@ -10,7 +10,8 @@
 #include <cstdio>
 #include <limits>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -18,6 +19,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig6_confidence");
     Evaluator eval;
     std::printf("Figure 6 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -40,9 +42,8 @@ main()
                 "infinite"});
     Table error({"benchmark", "5%", "10%", "20%", "infinite"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> mpki_row = {name};
-        std::vector<std::string> err_row = {name};
         for (const Window &w : windows) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             if (w.lvp) {
@@ -51,7 +52,19 @@ main()
                 cfg.approx.confidenceWindow = w.value;
                 cfg.approx.confidenceForInts = true;
             }
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({w.label, name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> err_row = {name};
+        for (const Window &w : windows) {
+            const EvalResult &r = results[next++];
             mpki_row.push_back(fmtDouble(r.normMpki, 3));
             if (!w.lvp)
                 err_row.push_back(fmtPercent(r.outputError, 1));

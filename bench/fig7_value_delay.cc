@@ -6,7 +6,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -14,6 +15,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig7_value_delay");
     Evaluator eval;
     std::printf("Figure 7 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -25,13 +27,24 @@ main()
     Table error({"benchmark", "delay-4", "delay-8", "delay-16",
                  "delay-32"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> mpki_row = {name};
-        std::vector<std::string> err_row = {name};
         for (u32 d : delays) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.valueDelay = d;
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({"delay", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> err_row = {name};
+        for (std::size_t i = 0; i < std::size(delays); ++i) {
+            const EvalResult &r = results[next++];
             mpki_row.push_back(fmtDouble(r.normMpki, 3));
             err_row.push_back(fmtPercent(r.outputError, 1));
         }

@@ -9,7 +9,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -17,6 +18,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig8_degree_fetches");
     Evaluator eval;
     std::printf("Figure 8 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -32,22 +34,36 @@ main()
 
     std::vector<double> pf_fetch_sum(4, 0.0), ap_fetch_sum(4, 0.0);
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> mpki_row = {name};
-        std::vector<std::string> fetch_row = {name};
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.mode = MemMode::Prefetch;
             cfg.prefetch.degree = degrees[i];
-            const EvalResult r = eval.evaluate(name, cfg);
+            points.push_back({"prefetch", name, cfg});
+        }
+        for (u32 i = 0; i < 4; ++i) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.approxDegree = degrees[i];
+            points.push_back({"approx", name, cfg});
+        }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> mpki_row = {name};
+        std::vector<std::string> fetch_row = {name};
+        for (u32 i = 0; i < 4; ++i) {
+            const EvalResult &r = results[next++];
             mpki_row.push_back(fmtDouble(r.normMpki, 3));
             fetch_row.push_back(fmtDouble(r.normFetches, 3));
             pf_fetch_sum[i] += r.normFetches;
         }
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.approxDegree = degrees[i];
-            const EvalResult r = eval.evaluate(name, cfg);
+            const EvalResult &r = results[next++];
             mpki_row.push_back(fmtDouble(r.normMpki, 3));
             fetch_row.push_back(fmtDouble(r.normFetches, 3));
             ap_fetch_sum[i] += r.normFetches;

@@ -6,7 +6,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -14,6 +15,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("fig9_degree_error");
     Evaluator eval;
     std::printf("Figure 9 reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -23,14 +25,24 @@ main()
     Table table({"benchmark", "approx-0", "approx-2", "approx-4",
                  "approx-8", "approx-16"});
 
+    std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        std::vector<std::string> row = {name};
         for (u32 d : degrees) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.approxDegree = d;
-            const EvalResult r = eval.evaluate(name, cfg);
-            row.push_back(fmtPercent(r.outputError, 1));
+            points.push_back({"degree", name, cfg});
         }
+    }
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    std::size_t next = 0;
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 0; i < std::size(degrees); ++i)
+            row.push_back(
+                fmtPercent(results[next++].outputError, 1));
         table.addRow(row);
     }
 

@@ -18,6 +18,8 @@
 
 #include "eval/fullsystem_eval.hh"
 #include "eval/stat_report.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -60,8 +62,16 @@ main(int argc, char **argv)
     if (names.empty())
         names = allWorkloadNames();
 
-    for (const auto &name : names) {
-        const FsSweep sweep = runFullSystemSweep(name, {0, 16});
+    BenchTimer timer("fsdiag");
+    SweepRunner runner;
+    const std::vector<FsSweep> sweeps =
+        runner.map(names.size(), [&](u64 i) {
+            return runFullSystemSweep(names[i], {0, 16});
+        });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const FsSweep &sweep = sweeps[w];
         Table t({"config", "Mcycles", "IPC", "L1miss", "demand",
                  "approx", "skipped", "missLat", "dram", "flitHops",
                  "nocWaitM", "memWaitM", "bankWaitM", "mJ*1e-6"});

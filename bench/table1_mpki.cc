@@ -7,7 +7,8 @@
 
 #include <cstdio>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+#include "util/bench_timer.hh"
 #include "util/table.hh"
 
 int
@@ -15,6 +16,7 @@ main()
 {
     using namespace lva;
 
+    BenchTimer timer("table1_mpki");
     Evaluator eval;
     std::printf("Table I reproduction (seeds=%u, scale=%.2f)\n",
                 eval.seeds(), eval.scale());
@@ -27,19 +29,28 @@ main()
     const char *paper_var[] = {"0.99%", "0.05%", "1.25%", "0.60%",
                                "0.17%", "0.00%", "2.37%"};
 
-    std::size_t row = 0;
-    for (const auto &name : allWorkloadNames()) {
-        const EvalResult precise = eval.evaluatePrecise(name);
-        const EvalResult lva =
-            eval.evaluate(name, Evaluator::baselineLva());
+    struct Point
+    {
+        EvalResult precise;
+        EvalResult lva;
+    };
+    const auto &names = allWorkloadNames();
+    SweepRunner runner(eval);
+    const std::vector<Point> results =
+        runner.map(names.size(), [&](u64 i) {
+            return Point{eval.evaluatePrecise(names[i]),
+                         eval.evaluate(names[i],
+                                       Evaluator::baselineLva())};
+        });
 
-        table.addRow({name,
-                      precise.mpki < 0.01
-                          ? fmtDouble(precise.mpki, 6)
-                          : fmtDouble(precise.mpki, 2),
-                      fmtPercent(lva.instrVariation, 2),
+    for (std::size_t row = 0; row < names.size(); ++row) {
+        const Point &p = results[row];
+        table.addRow({names[row],
+                      p.precise.mpki < 0.01
+                          ? fmtDouble(p.precise.mpki, 6)
+                          : fmtDouble(p.precise.mpki, 2),
+                      fmtPercent(p.lva.instrVariation, 2),
                       paper_mpki[row], paper_var[row]});
-        ++row;
     }
 
     table.print("Table I: precise L1 MPKI and instruction variation");

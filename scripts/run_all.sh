@@ -1,20 +1,82 @@
 #!/usr/bin/env bash
 # Build, test and regenerate every paper table/figure + ablation.
 # Usage: scripts/run_all.sh [quick]
-#   quick: 1 seed, 30% working sets (smoke run)
+#   quick: 1 seed, 30% working sets (smoke run) + a ThreadSanitizer
+#          build of the concurrency determinism check
+#
+# Parallelism: every bench driver fans its sweep grid out over
+# LVA_JOBS worker threads (default: hardware concurrency). LVA_JOBS=1
+# reproduces the historical serial path; results are byte-identical
+# either way.
+#
+# Per-driver wall-clock times are aggregated into
+# results/bench_times.json so successive PRs have a perf trajectory
+# to regress against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE=full
 if [[ "${1:-}" == "quick" ]]; then
+    MODE=quick
     export LVA_SEEDS=1
     export LVA_SCALE=0.3
 fi
+
+JOBS="${LVA_JOBS:-$(nproc)}"
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+if [[ "$MODE" == "quick" ]]; then
+    # ThreadSanitizer configuration: the gtest-free determinism check
+    # is fully instrumented, so races in the thread pool or the
+    # shared golden-run cache fail the run here.
+    cmake -B build-tsan -G Ninja -DLVA_TSAN=ON
+    cmake --build build-tsan --target tsan_sweep_check
+    ./build-tsan/tests/tsan_sweep_check
+fi
+
+declare -A BENCH_SECONDS
+BENCH_ORDER=()
+total_ms=0
+
 for b in build/bench/*; do
-    echo "### $b"
+    [[ -x "$b" && -f "$b" ]] || continue
+    name="$(basename "$b")"
+    echo "### $name"
+    start_ms=$(date +%s%3N)
     "$b"
+    end_ms=$(date +%s%3N)
+    elapsed_ms=$((end_ms - start_ms))
+    total_ms=$((total_ms + elapsed_ms))
+    BENCH_SECONDS[$name]=$(awk -v ms="$elapsed_ms" \
+        'BEGIN { printf "%.3f", ms / 1000.0 }')
+    BENCH_ORDER+=("$name")
 done
+
+mkdir -p results
+{
+    echo "{"
+    echo "  \"mode\": \"$MODE\","
+    echo "  \"jobs\": $JOBS,"
+    echo "  \"seeds\": \"${LVA_SEEDS:-default}\","
+    echo "  \"scale\": \"${LVA_SCALE:-default}\","
+    echo "  \"total_seconds\": $(awk -v ms="$total_ms" \
+        'BEGIN { printf "%.3f", ms / 1000.0 }'),"
+    echo "  \"benches\": {"
+    n=${#BENCH_ORDER[@]}
+    i=0
+    for name in "${BENCH_ORDER[@]}"; do
+        i=$((i + 1))
+        sep=","
+        [[ $i -eq $n ]] && sep=""
+        echo "    \"$name\": ${BENCH_SECONDS[$name]}$sep"
+    done
+    echo "  }"
+    echo "}"
+} > results/bench_times.json
+
+echo "wrote results/bench_times.json (total $(awk -v ms="$total_ms" \
+    'BEGIN { printf "%.1f", ms / 1000.0 }')s across ${#BENCH_ORDER[@]} \
+drivers, jobs=$JOBS)"

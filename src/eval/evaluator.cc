@@ -61,25 +61,31 @@ Evaluator::preciseConfig()
 }
 
 const Evaluator::Golden &
-Evaluator::golden(const std::string &name, u64 seed)
+Evaluator::golden(const std::string &name, WorkloadFactory factory,
+                  u64 seed)
 {
-    const auto key = std::make_pair(name, seed);
-    auto it = goldens_.find(key);
-    if (it != goldens_.end())
-        return it->second;
+    GoldenSlot *slot;
+    {
+        // std::map never relocates nodes, so the reference stays
+        // valid while concurrent callers insert other slots.
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot = &goldens_[std::make_pair(name, seed)];
+    }
 
-    WorkloadParams params;
-    params.seed = seed;
-    params.scale = scale_;
+    std::call_once(slot->once, [&] {
+        WorkloadParams params;
+        params.seed = seed;
+        params.scale = scale_;
 
-    Golden g;
-    g.workload = makeWorkload(name, params);
-    g.workload->generate();
-    ApproxMemory mem(preciseConfig());
-    g.workload->run(mem);
-    g.metrics = mem.metrics();
+        Golden &g = slot->golden;
+        g.workload = factory(params);
+        g.workload->generate();
+        ApproxMemory mem(preciseConfig());
+        g.workload->run(mem);
+        g.metrics = mem.metrics();
+    });
 
-    return goldens_.emplace(key, std::move(g)).first->second;
+    return slot->golden;
 }
 
 EvalResult
@@ -94,15 +100,19 @@ Evaluator::evaluate(const std::string &name,
     double sum_error = 0.0, sum_coverage = 0.0, sum_var = 0.0;
     double sum_instr = 0.0;
 
+    // Loop invariants: resolve the name->factory mapping and build
+    // the params template once, not once per seed.
+    const WorkloadFactory factory = findWorkloadFactory(name);
+    WorkloadParams params;
+    params.scale = scale_;
+
     for (u32 s = 0; s < seeds_; ++s) {
         const u64 seed = 1 + s;
-        const Golden &base = golden(name, seed);
+        const Golden &base = golden(name, factory, seed);
 
-        WorkloadParams params;
         params.seed = seed;
-        params.scale = scale_;
 
-        auto w = makeWorkload(name, params);
+        auto w = factory(params);
         w->generate();
         ApproxMemory mem(cfg);
         w->run(mem);
@@ -155,8 +165,9 @@ Evaluator::evaluatePrecise(const std::string &name)
     double sum_mpki = 0.0;
     double sum_instr = 0.0;
     double sum_fetches = 0.0;
+    const WorkloadFactory factory = findWorkloadFactory(name);
     for (u32 s = 0; s < seeds_; ++s) {
-        const Golden &base = golden(name, 1 + s);
+        const Golden &base = golden(name, factory, 1 + s);
         sum_mpki += base.metrics.mpki();
         sum_instr += static_cast<double>(base.metrics.instructions);
         sum_fetches += static_cast<double>(base.metrics.fetches);

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/approx_memory.hh"
@@ -40,6 +41,14 @@ struct EvalResult
  * point reuses the same baseline for normalization and for the output
  * error comparison, exactly as the paper normalizes each benchmark to
  * its own precise execution.
+ *
+ * Thread safety: evaluate()/evaluatePrecise() may be called
+ * concurrently (the SweepRunner does). The golden cache is a std::map
+ * guarded by a mutex for slot creation; each slot carries a
+ * std::once_flag so exactly one caller performs the precise run while
+ * concurrent callers for the same (workload, seed) block on the latch
+ * instead of duplicating it. std::map's node stability keeps slot
+ * references valid while other threads grow the map.
  */
 class Evaluator
 {
@@ -76,11 +85,20 @@ class Evaluator
         MemMetrics metrics;
     };
 
-    const Golden &golden(const std::string &workload, u64 seed);
+    /** One memoization slot; the flag latches concurrent builders. */
+    struct GoldenSlot
+    {
+        std::once_flag once;
+        Golden golden;
+    };
+
+    const Golden &golden(const std::string &workload,
+                         WorkloadFactory factory, u64 seed);
 
     u32 seeds_;
     double scale_;
-    std::map<std::pair<std::string, u64>, Golden> goldens_;
+    std::mutex mutex_; ///< guards goldens_ slot creation only
+    std::map<std::pair<std::string, u64>, GoldenSlot> goldens_;
 };
 
 } // namespace lva

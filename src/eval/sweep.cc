@@ -1,0 +1,44 @@
+#include "eval/sweep.hh"
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+std::unique_ptr<ThreadPool>
+makePool(u32 jobs)
+{
+    return jobs > 1 ? std::make_unique<ThreadPool>(jobs) : nullptr;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(Evaluator &eval, u32 jobs)
+    : eval_(&eval),
+      jobs_(jobs ? jobs : ThreadPool::defaultJobs()),
+      pool_(makePool(jobs_))
+{
+}
+
+SweepRunner::SweepRunner(u32 jobs)
+    : eval_(nullptr),
+      jobs_(jobs ? jobs : ThreadPool::defaultJobs()),
+      pool_(makePool(jobs_))
+{
+}
+
+std::vector<EvalResult>
+SweepRunner::run(const std::vector<SweepPoint> &points)
+{
+    lva_assert(eval_ != nullptr,
+               "SweepRunner::run needs an Evaluator; use the "
+               "Evaluator constructor");
+    Evaluator &eval = *eval_;
+    return map(points.size(), [&eval, &points](u64 i) {
+        const SweepPoint &p = points[i];
+        return eval.evaluate(p.workload, p.config);
+    });
+}
+
+} // namespace lva

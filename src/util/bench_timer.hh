@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Wall-clock timing for the bench drivers.
+ *
+ * Every driver wraps its work in a BenchTimer, which on destruction
+ * prints a uniformly formatted elapsed-seconds line:
+ *
+ *     [time] fig4_ghb_mpki: 12.345 s (jobs=8)
+ *
+ * scripts/run_all.sh parses these lines into results/bench_times.json
+ * so successive PRs have a wall-clock trajectory to regress against.
+ */
+
+#ifndef LVA_UTIL_BENCH_TIMER_HH
+#define LVA_UTIL_BENCH_TIMER_HH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "util/thread_pool.hh"
+#include "util/types.hh"
+
+namespace lva {
+
+/** Scoped wall-clock timer reporting on destruction. */
+class BenchTimer
+{
+  public:
+    explicit BenchTimer(std::string name)
+        : name_(std::move(name)), start_(Clock::now())
+    {
+    }
+
+    ~BenchTimer() { report(); }
+
+    BenchTimer(const BenchTimer &) = delete;
+    BenchTimer &operator=(const BenchTimer &) = delete;
+
+    /** Seconds elapsed since construction. */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Print the machine-parsable elapsed line (idempotent). */
+    void
+    report()
+    {
+        if (reported_)
+            return;
+        reported_ = true;
+        std::printf("[time] %s: %.3f s (jobs=%u)\n", name_.c_str(),
+                    seconds(), ThreadPool::defaultJobs());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string name_;
+    Clock::time_point start_;
+    bool reported_ = false;
+};
+
+} // namespace lva
+
+#endif // LVA_UTIL_BENCH_TIMER_HH

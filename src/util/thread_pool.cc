@@ -1,0 +1,92 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+u32
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("LVA_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 256)
+            return static_cast<u32>(v);
+        lva_warn("ignoring bad LVA_JOBS='%s'", env);
+    }
+    const u32 hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(u32 threads)
+{
+    const u32 n = threads ? threads : defaultJobs();
+    workers_.reserve(n);
+    for (u32 i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+u64
+ThreadPool::submitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::runtime_error(
+                "ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(task));
+        ++submitted_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            // Drain the queue even when stopping: shutdown() promises
+            // every submitted future eventually becomes ready.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // packaged_task captures exceptions in the future
+    }
+}
+
+} // namespace lva

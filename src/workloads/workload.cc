@@ -11,24 +11,41 @@
 
 namespace lva {
 
+namespace {
+
+template <typename W>
+std::unique_ptr<Workload>
+make(const WorkloadParams &params)
+{
+    return std::make_unique<W>(params);
+}
+
+} // namespace
+
+WorkloadFactory
+findWorkloadFactory(const std::string &name)
+{
+    if (name == "blackscholes")
+        return make<BlackscholesWorkload>;
+    if (name == "bodytrack")
+        return make<BodytrackWorkload>;
+    if (name == "canneal")
+        return make<CannealWorkload>;
+    if (name == "ferret")
+        return make<FerretWorkload>;
+    if (name == "fluidanimate")
+        return make<FluidanimateWorkload>;
+    if (name == "swaptions")
+        return make<SwaptionsWorkload>;
+    if (name == "x264")
+        return make<X264Workload>;
+    lva_fatal("unknown workload '%s'", name.c_str());
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadParams &params)
 {
-    if (name == "blackscholes")
-        return std::make_unique<BlackscholesWorkload>(params);
-    if (name == "bodytrack")
-        return std::make_unique<BodytrackWorkload>(params);
-    if (name == "canneal")
-        return std::make_unique<CannealWorkload>(params);
-    if (name == "ferret")
-        return std::make_unique<FerretWorkload>(params);
-    if (name == "fluidanimate")
-        return std::make_unique<FluidanimateWorkload>(params);
-    if (name == "swaptions")
-        return std::make_unique<SwaptionsWorkload>(params);
-    if (name == "x264")
-        return std::make_unique<X264Workload>(params);
-    lva_fatal("unknown workload '%s'", name.c_str());
+    return findWorkloadFactory(name)(params);
 }
 
 const std::vector<std::string> &

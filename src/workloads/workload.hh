@@ -126,6 +126,17 @@ class Workload
     std::vector<LoadSite> sites_;
 };
 
+/** Factory signature for one benchmark kernel. */
+using WorkloadFactory =
+    std::unique_ptr<Workload> (*)(const WorkloadParams &params);
+
+/**
+ * Resolve a PARSEC name to its factory once; fatal on unknown names.
+ * Hot loops (the evaluator runs one workload per seed per sweep
+ * point) hoist this lookup instead of re-matching the name per run.
+ */
+WorkloadFactory findWorkloadFactory(const std::string &name);
+
 /** Construct a workload by PARSEC name; fatal on unknown names. */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &params);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: parallel evaluation must be
+ * bit-identical to the serial path, results must come back in
+ * submission order, and the shared golden-run cache must hold under
+ * concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/sweep.hh"
+
+namespace lva {
+namespace {
+
+/** Every EvalResult field, bit-for-bit. */
+void
+expectIdentical(const EvalResult &a, const EvalResult &b)
+{
+    EXPECT_EQ(a.preciseMpki, b.preciseMpki);
+    EXPECT_EQ(a.mpki, b.mpki);
+    EXPECT_EQ(a.normMpki, b.normMpki);
+    EXPECT_EQ(a.preciseFetches, b.preciseFetches);
+    EXPECT_EQ(a.fetches, b.fetches);
+    EXPECT_EQ(a.normFetches, b.normFetches);
+    EXPECT_EQ(a.outputError, b.outputError);
+    EXPECT_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.instrVariation, b.instrVariation);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+std::vector<SweepPoint>
+allWorkloadPoints()
+{
+    std::vector<SweepPoint> points;
+    for (const auto &name : allWorkloadNames()) {
+        points.push_back({"lva", name, Evaluator::baselineLva()});
+
+        ApproxMemory::Config deg8 = Evaluator::baselineLva();
+        deg8.approx.approxDegree = 8;
+        points.push_back({"deg8", name, deg8});
+    }
+    return points;
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitForBit)
+{
+    const std::vector<SweepPoint> points = allWorkloadPoints();
+
+    Evaluator serial_eval(2, 0.05);
+    SweepRunner serial(serial_eval, 1);
+    const std::vector<EvalResult> expect = serial.run(points);
+
+    Evaluator parallel_eval(2, 0.05);
+    SweepRunner parallel(parallel_eval, 4);
+    const std::vector<EvalResult> got = parallel.run(points);
+
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        SCOPED_TRACE(points[i].workload + "/" + points[i].label);
+        expectIdentical(expect[i], got[i]);
+    }
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder)
+{
+    // Unequal task costs: a late cheap task finishing first must not
+    // displace earlier results.
+    SweepRunner runner(4);
+    const auto out = runner.map(32, [](u64 i) {
+        volatile double sink = 0.0;
+        for (u64 k = 0; k < (i % 3) * 100000; ++k)
+            sink = sink + static_cast<double>(k);
+        return static_cast<int>(i);
+    });
+    ASSERT_EQ(out.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(SweepRunner, ConcurrentPointsShareOneGoldenRun)
+{
+    // 8 concurrent points on the same workload: the golden (precise)
+    // baseline must be built exactly once per seed, and every point
+    // must see the identical baseline numbers.
+    Evaluator eval(1, 0.05);
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 8; ++i)
+        points.push_back({"lva", "canneal", Evaluator::baselineLva()});
+
+    SweepRunner runner(eval, 4);
+    const std::vector<EvalResult> results = runner.run(points);
+    for (const EvalResult &r : results) {
+        EXPECT_EQ(r.preciseMpki, results[0].preciseMpki);
+        EXPECT_EQ(r.preciseFetches, results[0].preciseFetches);
+    }
+}
+
+TEST(SweepRunner, SerialRunnerUsesNoPool)
+{
+    Evaluator eval(1, 0.05);
+    SweepRunner runner(eval, 1);
+    EXPECT_EQ(runner.jobs(), 1u);
+    const auto out =
+        runner.run({{"precise", "x264", Evaluator::preciseConfig()}});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].normMpki, 1.0, 1e-9);
+}
+
+TEST(SweepRunner, MapExceptionPropagates)
+{
+    SweepRunner runner(2);
+    EXPECT_THROW(runner.map(4,
+                            [](u64 i) -> int {
+                                if (i == 2)
+                                    throw std::runtime_error("bad");
+                                return 0;
+                            }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace lva

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the fixed-size worker pool behind the sweep engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace lva {
+namespace {
+
+TEST(ThreadPool, SingleWorkerRunsTasksInSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i, &order] {
+            order.push_back(i); // serialized by the single worker
+            return i;
+        }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[i].get(), i);
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, FuturesCarryResults)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+    EXPECT_EQ(pool.submitted(), 100u);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto good = pool.submit([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The worker that ran the throwing task keeps serving.
+    EXPECT_EQ(good.get(), 7);
+    EXPECT_EQ(pool.submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, RunsTasksConcurrently)
+{
+    // Two tasks that each wait for the other to have started can
+    // only finish if two workers run them simultaneously.
+    ThreadPool pool(2);
+    std::mutex m;
+    std::condition_variable cv;
+    int started = 0;
+    auto rendezvous = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        ++started;
+        cv.notify_all();
+        cv.wait(lock, [&] { return started == 2; });
+        return true;
+    };
+    auto a = pool.submit(rendezvous);
+    auto b = pool.submit(rendezvous);
+    EXPECT_TRUE(a.get());
+    EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&done] { ++done; });
+        // No future waits: the destructor must finish the queue.
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] { return 1; }), std::runtime_error);
+    pool.shutdown(); // idempotent
+}
+
+TEST(ThreadPool, SizeMatchesRequestedWorkers)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("LVA_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ::setenv("LVA_JOBS", "garbage", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u); // falls back to hw
+    ::unsetenv("LVA_JOBS");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace lva

@@ -36,7 +36,7 @@
 #include <string>
 #include <vector>
 
-#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -174,9 +174,17 @@ main(int argc, char **argv)
 
     Table table({"benchmark", "MPKI", "norm MPKI", "norm fetches",
                  "coverage", "output error"});
-    for (const auto &name : names) {
-        const EvalResult r = eval.evaluate(name, opt.cfg);
-        table.addRow({name, fmtDouble(r.mpki, 3),
+
+    std::vector<SweepPoint> points;
+    for (const auto &name : names)
+        points.push_back({"explore", name, opt.cfg});
+
+    SweepRunner runner(eval);
+    const std::vector<EvalResult> results = runner.run(points);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const EvalResult &r = results[i];
+        table.addRow({names[i], fmtDouble(r.mpki, 3),
                       fmtDouble(r.normMpki, 3),
                       fmtDouble(r.normFetches, 3),
                       fmtPercent(r.coverage, 1),
