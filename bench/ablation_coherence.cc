@@ -12,6 +12,7 @@
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -32,9 +33,17 @@ main()
                  "LVA speedup (MESI)",
                  "baseline traffic change (MESI vs MSI)"});
 
+    // A map task returns the formatted table row plus the labelled
+    // registry snapshots, so the JSON export sees every replay.
+    struct WorkRes
+    {
+        std::vector<std::string> row;
+        std::vector<NamedSnapshot> snaps;
+    };
+
     const auto &names = allWorkloadNames();
     SweepRunner runner;
-    const auto rows = runner.map(names.size(), [&](u64 i) {
+    const auto results = runner.map(names.size(), [&](u64 i) {
         const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
@@ -62,20 +71,36 @@ main()
         const FullSystemResult mesi_lva =
             run(CoherenceProtocol::Mesi, true);
 
-        return std::vector<std::string>(
-            {name,
-             fmtPercent(msi_base.cycles / msi_lva.cycles - 1.0, 1),
-             fmtPercent(mesi_base.cycles / mesi_lva.cycles - 1.0, 1),
-             fmtPercent(static_cast<double>(mesi_base.flitHops) /
-                                static_cast<double>(
-                                    msi_base.flitHops) - 1.0, 1)});
+        auto cycles = [](const FullSystemResult &r) {
+            return r.stats.valueOf("system.cycles");
+        };
+        WorkRes res;
+        res.row = {
+            name,
+            fmtPercent(cycles(msi_base) / cycles(msi_lva) - 1.0, 1),
+            fmtPercent(cycles(mesi_base) / cycles(mesi_lva) - 1.0, 1),
+            fmtPercent(FsSweep::snapFlitHops(mesi_base.stats) /
+                               FsSweep::snapFlitHops(msi_base.stats) -
+                           1.0,
+                       1)};
+        res.snaps = {{name + "/msi-base", name, msi_base.stats},
+                     {name + "/msi-lva", name, msi_lva.stats},
+                     {name + "/mesi-base", name, mesi_base.stats},
+                     {name + "/mesi-lva", name, mesi_lva.stats}};
+        return res;
     });
 
-    for (const auto &row : rows)
-        table.addRow(row);
+    std::vector<NamedSnapshot> snaps;
+    for (const auto &r : results) {
+        table.addRow(r.row);
+        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    }
 
     table.print("LVA (degree 4) speedup under MSI vs MESI");
-    table.writeCsv("results/ablation_coherence.csv");
-    std::printf("\nwrote results/ablation_coherence.csv\n");
+    table.writeCsv(resultsPath("ablation_coherence.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_coherence.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("ablation_coherence", snaps).c_str());
     return 0;
 }

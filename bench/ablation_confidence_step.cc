@@ -12,6 +12,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -48,15 +49,19 @@ main()
     for (const auto &name : allWorkloadNames()) {
         const EvalResult &rf = results[next++];
         const EvalResult &rp = results[next++];
-        table.addRow({name, fmtDouble(rf.normMpki, 3),
-                      fmtDouble(rp.normMpki, 3),
-                      fmtPercent(rf.outputError, 1),
-                      fmtPercent(rp.outputError, 1)});
+        table.addRow({name, fmtDouble(rf.stats.valueOf("eval.normMpki"), 3),
+                      fmtDouble(rp.stats.valueOf("eval.normMpki"), 3),
+                      fmtPercent(rf.stats.valueOf("eval.outputError"), 1),
+                      fmtPercent(rp.stats.valueOf("eval.outputError"), 1)});
     }
 
     table.print("Future-work ablation: fixed vs proportional "
                 "confidence updates (+/-10% window, both data types)");
-    table.writeCsv("results/ablation_confidence_step.csv");
-    std::printf("\nwrote results/ablation_confidence_step.csv\n");
+    table.writeCsv(resultsPath("ablation_confidence_step.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_confidence_step.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("ablation_confidence_step", points, results)
+                    .c_str());
     return 0;
 }

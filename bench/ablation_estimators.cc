@@ -10,6 +10,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -24,6 +25,7 @@ main()
 
     const Estimator fns[] = {Estimator::Average, Estimator::Last,
                              Estimator::Stride};
+    const char *fn_names[] = {"AVERAGE", "LAST", "STRIDE"};
 
     Table mpki({"benchmark", "AVERAGE", "LAST", "STRIDE"});
     Table error({"benchmark", "AVERAGE", "LAST", "STRIDE"});
@@ -35,7 +37,8 @@ main()
         for (u32 i = 0; i < 3; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.estimator = fns[i];
-            points.push_back({"estimator", name, cfg});
+            points.push_back(
+                {fn_names[i], name, cfg});
         }
     }
 
@@ -48,10 +51,11 @@ main()
         std::vector<std::string> e_row = {name};
         for (u32 i = 0; i < 3; ++i) {
             const EvalResult &r = results[next++];
-            m_row.push_back(fmtDouble(r.normMpki, 3));
-            e_row.push_back(fmtPercent(r.outputError, 1));
-            mpki_sum[i] += r.normMpki;
-            err_sum[i] += r.outputError;
+            m_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            e_row.push_back(
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
+            mpki_sum[i] += r.stats.valueOf("eval.normMpki");
+            err_sum[i] += r.stats.valueOf("eval.outputError");
         }
         mpki.addRow(m_row);
         error.addRow(e_row);
@@ -66,8 +70,12 @@ main()
 
     mpki.print("Estimator ablation: normalized MPKI");
     error.print("Estimator ablation: output error");
-    mpki.writeCsv("results/ablation_estimators_mpki.csv");
-    error.writeCsv("results/ablation_estimators_error.csv");
-    std::printf("\nwrote results/ablation_estimators_{mpki,error}.csv\n");
+    mpki.writeCsv(resultsPath("ablation_estimators_mpki.csv"));
+    error.writeCsv(resultsPath("ablation_estimators_error.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_estimators_{mpki,error}.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("ablation_estimators", points, results)
+                    .c_str());
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -30,9 +31,17 @@ main()
                  "NoC energy homo", "NoC energy hetero",
                  "energy savings homo", "energy savings hetero"});
 
+    // A map task returns the formatted table row plus the labelled
+    // registry snapshots, so the JSON export sees every replay.
+    struct WorkRes
+    {
+        std::vector<std::string> row;
+        std::vector<NamedSnapshot> snaps;
+    };
+
     const auto &names = allWorkloadNames();
     SweepRunner runner;
-    const auto rows = runner.map(names.size(), [&](u64 i) {
+    const auto results = runner.map(names.size(), [&](u64 i) {
         const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
@@ -54,23 +63,39 @@ main()
         FullSystemSim hetero_sim(hetero_cfg);
         const FullSystemResult hetero = hetero_sim.run(rec.traces());
 
-        return std::vector<std::string>(
-            {name, fmtPercent(base.cycles / homo.cycles - 1.0, 1),
-             fmtPercent(base.cycles / hetero.cycles - 1.0, 1),
-             fmtDouble(homo.energy.noc, 1),
-             fmtDouble(hetero.energy.noc, 1),
-             fmtPercent(1.0 - homo.energy.total() /
-                                  base.energy.total(), 1),
-             fmtPercent(1.0 - hetero.energy.total() /
-                                  base.energy.total(), 1)});
+        auto cycles = [](const FullSystemResult &r) {
+            return r.stats.valueOf("system.cycles");
+        };
+        auto total = [](const FullSystemResult &r) {
+            return r.stats.valueOf("energy.total");
+        };
+        WorkRes res;
+        res.row = {
+            name,
+            fmtPercent(cycles(base) / cycles(homo) - 1.0, 1),
+            fmtPercent(cycles(base) / cycles(hetero) - 1.0, 1),
+            fmtDouble(homo.stats.valueOf("energy.noc"), 1),
+            fmtDouble(hetero.stats.valueOf("energy.noc"), 1),
+            fmtPercent(1.0 - total(homo) / total(base), 1),
+            fmtPercent(1.0 - total(hetero) / total(base), 1)};
+        res.snaps = {{name + "/baseline", name, base.stats},
+                     {name + "/homo", name, homo.stats},
+                     {name + "/hetero", name, hetero.stats}};
+        return res;
     });
 
-    for (const auto &row : rows)
-        table.addRow(row);
+    std::vector<NamedSnapshot> snaps;
+    for (const auto &r : results) {
+        table.addRow(r.row);
+        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    }
 
     table.print("LVA (degree 4): homogeneous vs heterogeneous NoC "
                 "for training fetches");
-    table.writeCsv("results/ablation_hetero_noc.csv");
-    std::printf("\nwrote results/ablation_hetero_noc.csv\n");
+    table.writeCsv(resultsPath("ablation_hetero_noc.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_hetero_noc.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("ablation_hetero_noc", snaps).c_str());
     return 0;
 }

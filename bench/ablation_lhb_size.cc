@@ -9,6 +9,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -31,7 +32,8 @@ main()
         for (u32 entries : sizes) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.lhbEntries = entries;
-            points.push_back({"lhb", name, cfg});
+            points.push_back(
+                {"lhb-" + std::to_string(entries), name, cfg});
         }
     }
 
@@ -44,8 +46,9 @@ main()
         std::vector<std::string> e_row = {name};
         for (std::size_t i = 0; i < std::size(sizes); ++i) {
             const EvalResult &r = results[next++];
-            m_row.push_back(fmtDouble(r.normMpki, 3));
-            e_row.push_back(fmtPercent(r.outputError, 1));
+            m_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            e_row.push_back(
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
         }
         mpki.addRow(m_row);
         error.addRow(e_row);
@@ -53,8 +56,12 @@ main()
 
     mpki.print("LHB-size ablation: normalized MPKI");
     error.print("LHB-size ablation: output error");
-    mpki.writeCsv("results/ablation_lhb_size_mpki.csv");
-    error.writeCsv("results/ablation_lhb_size_error.csv");
-    std::printf("\nwrote results/ablation_lhb_size_{mpki,error}.csv\n");
+    mpki.writeCsv(resultsPath("ablation_lhb_size_mpki.csv"));
+    error.writeCsv(resultsPath("ablation_lhb_size_error.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_lhb_size_{mpki,error}.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("ablation_lhb_size", points, results)
+                    .c_str());
     return 0;
 }

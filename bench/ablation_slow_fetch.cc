@@ -14,6 +14,7 @@
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -30,9 +31,17 @@ main()
     Table table({"benchmark", "+0 cycles", "+100 cycles",
                  "+300 cycles"});
 
+    // A map task returns the formatted table row plus the labelled
+    // registry snapshots, so the JSON export sees every replay.
+    struct WorkRes
+    {
+        std::vector<std::string> row;
+        std::vector<NamedSnapshot> snaps;
+    };
+
     const auto &names = allWorkloadNames();
     SweepRunner runner;
-    const auto rows = runner.map(names.size(), [&](u64 i) {
+    const auto results = runner.map(names.size(), [&](u64 i) {
         const std::string &name = names[i];
         WorkloadParams params;
         params.seed = 1;
@@ -44,25 +53,39 @@ main()
 
         FullSystemSim base_sim(FullSystemConfig::baseline());
         const FullSystemResult base = base_sim.run(rec.traces());
+        const double base_cycles =
+            base.stats.valueOf("system.cycles");
 
-        std::vector<std::string> row = {name};
+        WorkRes res;
+        res.row = {name};
+        res.snaps = {{name + "/baseline", name, base.stats}};
         for (u32 extra : extras) {
             FullSystemConfig cfg = FullSystemConfig::lva(4);
             cfg.backgroundFetchExtraLatency = extra;
             FullSystemSim sim(cfg);
             const FullSystemResult r = sim.run(rec.traces());
-            row.push_back(
-                fmtPercent(base.cycles / r.cycles - 1.0, 1));
+            res.row.push_back(fmtPercent(
+                base_cycles / r.stats.valueOf("system.cycles") - 1.0,
+                1));
+            res.snaps.push_back(
+                {name + "/extra-" + std::to_string(extra), name,
+                 r.stats});
         }
-        return row;
+        return res;
     });
 
-    for (const auto &row : rows)
-        table.addRow(row);
+    std::vector<NamedSnapshot> snaps;
+    for (const auto &r : results) {
+        table.addRow(r.row);
+        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    }
 
     table.print("LVA (degree 4) speedup with deprioritized training "
                 "fetches");
-    table.writeCsv("results/ablation_slow_fetch.csv");
-    std::printf("\nwrote results/ablation_slow_fetch.csv\n");
+    table.writeCsv(resultsPath("ablation_slow_fetch.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_slow_fetch.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("ablation_slow_fetch", snaps).c_str());
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -36,7 +37,8 @@ main()
             // actually occurs (PC-only contexts are too few to alias).
             cfg.approx.ghbEntries = 2;
             cfg.approx.tableAssoc = w;
-            points.push_back({"ways", name, cfg});
+            points.push_back(
+                {"ways-" + std::to_string(w), name, cfg});
         }
     }
 
@@ -49,8 +51,9 @@ main()
         std::vector<std::string> e_row = {name};
         for (std::size_t i = 0; i < std::size(ways); ++i) {
             const EvalResult &r = results[next++];
-            m_row.push_back(fmtDouble(r.normMpki, 3));
-            e_row.push_back(fmtPercent(r.outputError, 1));
+            m_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            e_row.push_back(
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
         }
         mpki.addRow(m_row);
         error.addRow(e_row);
@@ -58,9 +61,12 @@ main()
 
     mpki.print("Associativity ablation (GHB 2): normalized MPKI");
     error.print("Associativity ablation (GHB 2): output error");
-    mpki.writeCsv("results/ablation_table_assoc_mpki.csv");
-    error.writeCsv("results/ablation_table_assoc_error.csv");
+    mpki.writeCsv(resultsPath("ablation_table_assoc_mpki.csv"));
+    error.writeCsv(resultsPath("ablation_table_assoc_error.csv"));
     std::printf("\nwrote results/ablation_table_assoc_{mpki,error}"
                 ".csv\n");
+    std::printf("wrote %s\n",
+                exportSweepStats("ablation_table_assoc", points, results)
+                    .c_str());
     return 0;
 }

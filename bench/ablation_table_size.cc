@@ -10,6 +10,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -32,7 +33,8 @@ main()
         for (u32 entries : sizes) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.tableEntries = entries;
-            points.push_back({"entries", name, cfg});
+            points.push_back(
+                {"entries-" + std::to_string(entries), name, cfg});
         }
     }
 
@@ -45,8 +47,9 @@ main()
         std::vector<std::string> e_row = {name};
         for (std::size_t i = 0; i < std::size(sizes); ++i) {
             const EvalResult &r = results[next++];
-            m_row.push_back(fmtDouble(r.normMpki, 3));
-            e_row.push_back(fmtPercent(r.outputError, 1));
+            m_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            e_row.push_back(
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
         }
         mpki.addRow(m_row);
         error.addRow(e_row);
@@ -54,8 +57,12 @@ main()
 
     mpki.print("Table-size ablation: normalized MPKI by entries");
     error.print("Table-size ablation: output error by entries");
-    mpki.writeCsv("results/ablation_table_size_mpki.csv");
-    error.writeCsv("results/ablation_table_size_error.csv");
-    std::printf("\nwrote results/ablation_table_size_{mpki,error}.csv\n");
+    mpki.writeCsv(resultsPath("ablation_table_size_mpki.csv"));
+    error.writeCsv(resultsPath("ablation_table_size_error.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("ablation_table_size_{mpki,error}.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("ablation_table_size", points, results)
+                    .c_str());
     return 0;
 }

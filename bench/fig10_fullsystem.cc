@@ -15,6 +15,7 @@
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -76,14 +77,19 @@ main()
                   "degree (paper: 8.5% avg @0, max 28.6%)");
     energy.print("Figure 10b: energy savings by approximation degree "
                  "(paper: 12.6% avg @16, max 44.1%)");
-    speedup.writeCsv("results/fig10a_speedup.csv");
-    energy.writeCsv("results/fig10b_energy.csv");
+    speedup.writeCsv(resultsPath("fig10a_speedup.csv"));
+    energy.writeCsv(resultsPath("fig10b_energy.csv"));
 
     std::printf("\navg L1 miss latency reduction @degree 0: %.1f%% "
                 "(paper: 41.0%%)\n", lat_red_sum / n * 100.0);
     std::printf("avg interconnect traffic reduction @degree 16: %.1f%% "
                 "(paper: 37.2%%)\n", traffic_red_sum / n * 100.0);
-    std::printf("wrote results/fig10a_speedup.csv, "
-                "results/fig10b_energy.csv\n");
+    std::printf("wrote %s, %s\n",
+                resultsPath("fig10a_speedup.csv").c_str(),
+                resultsPath("fig10b_energy.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("fig10_fullsystem",
+                               fsSweepSnapshots(sweeps))
+                    .c_str());
     return 0;
 }

@@ -11,6 +11,7 @@
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -55,7 +56,11 @@ main()
 
     table.print("Figure 11: normalized L1-miss EDP by approximation "
                 "degree (paper avg: 0.581 @0, 0.462 @4, 0.362 @16)");
-    table.writeCsv("results/fig11_edp.csv");
-    std::printf("\nwrote results/fig11_edp.csv\n");
+    table.writeCsv(resultsPath("fig11_edp.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig11_edp.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("fig11_edp", fsSweepSnapshots(sweeps))
+                    .c_str());
     return 0;
 }

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <utility>
 
+#include "eval/stat_report.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -38,12 +40,28 @@ main()
             static_cast<u32>(w->loadSites().size()));
     });
 
-    for (std::size_t i = 0; i < names.size(); ++i)
+    // No simulation runs here, so the export carries one snapshot of
+    // catalogued "workload.*" gauges per benchmark.
+    const auto &defs = workloadStaticDefs();
+    std::vector<NamedSnapshot> snaps;
+    for (std::size_t i = 0; i < names.size(); ++i) {
         table.addRow({names[i], std::to_string(counts[i].first),
                       std::to_string(counts[i].second)});
+        StatSnapshot snap;
+        snap.setGauge(defs[0].path,
+                      static_cast<double>(counts[i].first),
+                      defs[0].desc, defs[0].unit);
+        snap.setGauge(defs[1].path,
+                      static_cast<double>(counts[i].second),
+                      defs[1].desc, defs[1].unit);
+        snaps.push_back({names[i], names[i], snap});
+    }
 
     table.print("Figure 12: static (distinct) PCs of approximate loads");
-    table.writeCsv("results/fig12_static_loads.csv");
-    std::printf("\nwrote results/fig12_static_loads.csv\n");
+    table.writeCsv(resultsPath("fig12_static_loads.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig12_static_loads.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("fig12_static_loads", snaps).c_str());
     return 0;
 }

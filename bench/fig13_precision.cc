@@ -10,6 +10,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -33,7 +34,8 @@ main()
         cfg.approx.ghbEntries = 2;
         cfg.approx.confidenceDisabled = true;
         cfg.approx.mantissaDropBits = drop;
-        points.push_back({"drop", "fluidanimate", cfg});
+        points.push_back(
+            {"drop-" + std::to_string(drop), "fluidanimate", cfg});
     }
 
     SweepRunner runner(eval);
@@ -42,14 +44,18 @@ main()
     for (std::size_t i = 0; i < std::size(drops); ++i) {
         const EvalResult &r = results[i];
         table.addRow({std::to_string(drops[i]),
-                      fmtDouble(r.normMpki, 3),
-                      fmtPercent(r.outputError, 1),
-                      fmtPercent(r.coverage, 1)});
+                      fmtDouble(r.stats.valueOf("eval.normMpki"), 3),
+                      fmtPercent(r.stats.valueOf("eval.outputError"), 1),
+                      fmtPercent(r.stats.valueOf("eval.coverage"), 1)});
     }
 
     table.print("Figure 13: fluidanimate MPKI vs FP precision loss "
                 "(GHB 2, confidence disabled)");
-    table.writeCsv("results/fig13_precision.csv");
-    std::printf("\nwrote results/fig13_precision.csv\n");
+    table.writeCsv(resultsPath("fig13_precision.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig13_precision.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig13_precision", points, results)
+                    .c_str());
     return 0;
 }

@@ -9,8 +9,10 @@
 #include <memory>
 
 #include "core/approx_memory.hh"
+#include "eval/stat_report.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/bodytrack.hh"
 
@@ -23,21 +25,29 @@ main()
     WorkloadParams params;
     params.seed = 1;
 
-    // Run precise (index 0) and baseline LVA (index 1) in parallel.
+    // Run precise (index 0) and baseline LVA (index 1) in parallel,
+    // keeping each run's registry snapshot for the JSON export.
+    struct Run
+    {
+        std::unique_ptr<BodytrackWorkload> w;
+        StatSnapshot stats;
+    };
     SweepRunner runner;
     auto runs = runner.map(2, [&](u64 i) {
-        auto w = std::make_unique<BodytrackWorkload>(params);
-        w->generate();
+        Run run;
+        run.w = std::make_unique<BodytrackWorkload>(params);
+        run.w->generate();
         ApproxMemory mem(i == 0 ? Evaluator::preciseConfig()
                                 : Evaluator::baselineLva());
-        w->run(mem);
-        return w;
+        run.w->run(mem);
+        run.stats = mem.snapshot();
+        return run;
     });
-    BodytrackWorkload &precise = *runs[0];
-    BodytrackWorkload &approx = *runs[1];
+    BodytrackWorkload &precise = *runs[0].w;
+    BodytrackWorkload &approx = *runs[1].w;
 
-    precise.renderTrack().writePgm("results/fig1_precise.pgm");
-    approx.renderTrack().writePgm("results/fig1_approx.pgm");
+    precise.renderTrack().writePgm(resultsPath("fig1_precise.pgm"));
+    approx.renderTrack().writePgm(resultsPath("fig1_approx.pgm"));
 
     const double err = approx.outputErrorVs(precise);
     std::printf("Figure 1: bodytrack output\n");
@@ -50,5 +60,12 @@ main()
         precise.renderTrack(), approx.renderTrack());
     std::printf("  mean absolute pixel difference: %.2f / 255 "
                 "(nearly indiscernible, as in the paper)\n", img_diff);
+
+    std::printf("wrote %s\n",
+                writeStatsJson(
+                    "fig1_bodytrack_output",
+                    {{"precise", "bodytrack", runs[0].stats},
+                     {"lva", "bodytrack", runs[1].stats}})
+                    .c_str());
     return 0;
 }

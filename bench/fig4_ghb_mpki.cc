@@ -9,6 +9,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -36,12 +37,16 @@ main()
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.mode = MemMode::Lvp;
             cfg.approx.ghbEntries = ghb_sizes[i];
-            points.push_back({"lvp", name, cfg});
+            points.push_back(
+                {"lvp-ghb-" + std::to_string(ghb_sizes[i]), name,
+                 cfg});
         }
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.ghbEntries = ghb_sizes[i];
-            points.push_back({"lva", name, cfg});
+            points.push_back(
+                {"lva-ghb-" + std::to_string(ghb_sizes[i]), name,
+                 cfg});
         }
     }
 
@@ -53,13 +58,13 @@ main()
         std::vector<std::string> row = {name};
         for (u32 i = 0; i < 4; ++i) {
             const EvalResult &r = results[next++];
-            row.push_back(fmtDouble(r.normMpki, 3));
-            lvp_sum[i] += r.normMpki;
+            row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            lvp_sum[i] += r.stats.valueOf("eval.normMpki");
         }
         for (u32 i = 0; i < 4; ++i) {
             const EvalResult &r = results[next++];
-            row.push_back(fmtDouble(r.normMpki, 3));
-            lva_sum[i] += r.normMpki;
+            row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            lva_sum[i] += r.stats.valueOf("eval.normMpki");
         }
         table.addRow(row);
     }
@@ -74,7 +79,11 @@ main()
 
     table.print("Figure 4: normalized MPKI, LVA vs idealized LVP "
                 "(lower is better)");
-    table.writeCsv("results/fig4_ghb_mpki.csv");
-    std::printf("\nwrote results/fig4_ghb_mpki.csv\n");
+    table.writeCsv(resultsPath("fig4_ghb_mpki.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig4_ghb_mpki.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig4_ghb_mpki", points, results)
+                    .c_str());
     return 0;
 }

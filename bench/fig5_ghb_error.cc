@@ -8,6 +8,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -30,7 +31,8 @@ main()
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.ghbEntries = ghb_sizes[i];
-            points.push_back({"ghb", name, cfg});
+            points.push_back(
+                {"ghb-" + std::to_string(ghb_sizes[i]), name, cfg});
         }
     }
 
@@ -43,16 +45,20 @@ main()
         double coverage0 = 0.0;
         for (u32 i = 0; i < 4; ++i) {
             const EvalResult &r = results[next++];
-            row.push_back(fmtPercent(r.outputError, 1));
+            row.push_back(fmtPercent(r.stats.valueOf("eval.outputError"), 1));
             if (i == 0)
-                coverage0 = r.coverage;
+                coverage0 = r.stats.valueOf("eval.coverage");
         }
         row.push_back(fmtPercent(coverage0, 1));
         table.addRow(row);
     }
 
     table.print("Figure 5: LVA output error by GHB size");
-    table.writeCsv("results/fig5_ghb_error.csv");
-    std::printf("\nwrote results/fig5_ghb_error.csv\n");
+    table.writeCsv(resultsPath("fig5_ghb_error.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig5_ghb_error.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig5_ghb_error", points, results)
+                    .c_str());
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -65,9 +66,10 @@ main()
         std::vector<std::string> err_row = {name};
         for (const Window &w : windows) {
             const EvalResult &r = results[next++];
-            mpki_row.push_back(fmtDouble(r.normMpki, 3));
+            mpki_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
             if (!w.lvp)
-                err_row.push_back(fmtPercent(r.outputError, 1));
+                err_row.push_back(
+                    fmtPercent(r.stats.valueOf("eval.outputError"), 1));
         }
         mpki.addRow(mpki_row);
         error.addRow(err_row);
@@ -75,9 +77,13 @@ main()
 
     mpki.print("Figure 6a: normalized MPKI by confidence window");
     error.print("Figure 6b: output error by confidence window");
-    mpki.writeCsv("results/fig6a_confidence_mpki.csv");
-    error.writeCsv("results/fig6b_confidence_error.csv");
-    std::printf("\nwrote results/fig6a_confidence_mpki.csv, "
-                "results/fig6b_confidence_error.csv\n");
+    mpki.writeCsv(resultsPath("fig6a_confidence_mpki.csv"));
+    error.writeCsv(resultsPath("fig6b_confidence_error.csv"));
+    std::printf("\nwrote %s, %s\n",
+                resultsPath("fig6a_confidence_mpki.csv").c_str(),
+                resultsPath("fig6b_confidence_error.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig6_confidence", points, results)
+                    .c_str());
     return 0;
 }

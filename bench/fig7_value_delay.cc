@@ -8,6 +8,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -32,7 +33,8 @@ main()
         for (u32 d : delays) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.valueDelay = d;
-            points.push_back({"delay", name, cfg});
+            points.push_back(
+                {"delay-" + std::to_string(d), name, cfg});
         }
     }
 
@@ -45,8 +47,9 @@ main()
         std::vector<std::string> err_row = {name};
         for (std::size_t i = 0; i < std::size(delays); ++i) {
             const EvalResult &r = results[next++];
-            mpki_row.push_back(fmtDouble(r.normMpki, 3));
-            err_row.push_back(fmtPercent(r.outputError, 1));
+            mpki_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            err_row.push_back(
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
         }
         mpki.addRow(mpki_row);
         error.addRow(err_row);
@@ -54,9 +57,13 @@ main()
 
     mpki.print("Figure 7a: normalized MPKI by value delay");
     error.print("Figure 7b: output error by value delay");
-    mpki.writeCsv("results/fig7a_delay_mpki.csv");
-    error.writeCsv("results/fig7b_delay_error.csv");
-    std::printf("\nwrote results/fig7a_delay_mpki.csv, "
-                "results/fig7b_delay_error.csv\n");
+    mpki.writeCsv(resultsPath("fig7a_delay_mpki.csv"));
+    error.writeCsv(resultsPath("fig7b_delay_error.csv"));
+    std::printf("\nwrote %s, %s\n",
+                resultsPath("fig7a_delay_mpki.csv").c_str(),
+                resultsPath("fig7b_delay_error.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig7_value_delay", points, results)
+                    .c_str());
     return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -40,12 +41,16 @@ main()
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.mode = MemMode::Prefetch;
             cfg.prefetch.degree = degrees[i];
-            points.push_back({"prefetch", name, cfg});
+            points.push_back(
+                {"prefetch-" + std::to_string(degrees[i]), name,
+                 cfg});
         }
         for (u32 i = 0; i < 4; ++i) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.approxDegree = degrees[i];
-            points.push_back({"approx", name, cfg});
+            points.push_back(
+                {"approx-" + std::to_string(degrees[i]), name,
+                 cfg});
         }
     }
 
@@ -58,15 +63,17 @@ main()
         std::vector<std::string> fetch_row = {name};
         for (u32 i = 0; i < 4; ++i) {
             const EvalResult &r = results[next++];
-            mpki_row.push_back(fmtDouble(r.normMpki, 3));
-            fetch_row.push_back(fmtDouble(r.normFetches, 3));
-            pf_fetch_sum[i] += r.normFetches;
+            mpki_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            fetch_row.push_back(
+                fmtDouble(r.stats.valueOf("eval.normFetches"), 3));
+            pf_fetch_sum[i] += r.stats.valueOf("eval.normFetches");
         }
         for (u32 i = 0; i < 4; ++i) {
             const EvalResult &r = results[next++];
-            mpki_row.push_back(fmtDouble(r.normMpki, 3));
-            fetch_row.push_back(fmtDouble(r.normFetches, 3));
-            ap_fetch_sum[i] += r.normFetches;
+            mpki_row.push_back(fmtDouble(r.stats.valueOf("eval.normMpki"), 3));
+            fetch_row.push_back(
+                fmtDouble(r.stats.valueOf("eval.normFetches"), 3));
+            ap_fetch_sum[i] += r.stats.valueOf("eval.normFetches");
         }
         mpki.addRow(mpki_row);
         fetches.addRow(fetch_row);
@@ -83,15 +90,19 @@ main()
     mpki.print("Figure 8a: normalized MPKI, prefetching vs LVA degree");
     fetches.print("Figure 8b: normalized fetches, prefetching vs LVA "
                   "degree");
-    mpki.writeCsv("results/fig8a_degree_mpki.csv");
-    fetches.writeCsv("results/fig8b_degree_fetches.csv");
+    mpki.writeCsv(resultsPath("fig8a_degree_mpki.csv"));
+    fetches.writeCsv(resultsPath("fig8b_degree_fetches.csv"));
 
     std::printf("\npaper headline: at degree 16, LVA cuts fetched "
                 "blocks by >39%% while prefetching adds 73%%\n");
     std::printf("measured: LVA %.1f%% cut, prefetching %.1f%% added\n",
                 (1.0 - ap_fetch_sum[3] / n) * 100.0,
                 (pf_fetch_sum[3] / n - 1.0) * 100.0);
-    std::printf("wrote results/fig8a_degree_mpki.csv, "
-                "results/fig8b_degree_fetches.csv\n");
+    std::printf("wrote %s, %s\n",
+                resultsPath("fig8a_degree_mpki.csv").c_str(),
+                resultsPath("fig8b_degree_fetches.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig8_degree_fetches", points, results)
+                    .c_str());
     return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -30,7 +31,8 @@ main()
         for (u32 d : degrees) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
             cfg.approx.approxDegree = d;
-            points.push_back({"degree", name, cfg});
+            points.push_back(
+                {"degree-" + std::to_string(d), name, cfg});
         }
     }
 
@@ -40,14 +42,20 @@ main()
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
         std::vector<std::string> row = {name};
-        for (std::size_t i = 0; i < std::size(degrees); ++i)
+        for (std::size_t i = 0; i < std::size(degrees); ++i) {
+            const EvalResult &r = results[next++];
             row.push_back(
-                fmtPercent(results[next++].outputError, 1));
+                fmtPercent(r.stats.valueOf("eval.outputError"), 1));
+        }
         table.addRow(row);
     }
 
     table.print("Figure 9: LVA output error by approximation degree");
-    table.writeCsv("results/fig9_degree_error.csv");
-    std::printf("\nwrote results/fig9_degree_error.csv\n");
+    table.writeCsv(resultsPath("fig9_degree_error.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("fig9_degree_error.csv").c_str());
+    std::printf("wrote %s\n",
+                exportSweepStats("fig9_degree_error", points, results)
+                    .c_str());
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "eval/stat_report.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -82,14 +83,21 @@ main(int argc, char **argv)
 
         if (stats) {
             reportFullSystem(sweep.baseline, name + ".precise")
-                .writeFile("results/stats/" + name + "_precise.txt");
+                .writeFile(
+                    resultsPath("stats/" + name + "_precise.txt"));
             reportFullSystem(sweep.lva[0], name + ".lva0")
-                .writeFile("results/stats/" + name + "_lva0.txt");
+                .writeFile(resultsPath("stats/" + name + "_lva0.txt"));
             reportFullSystem(sweep.lva[1], name + ".lva16")
-                .writeFile("results/stats/" + name + "_lva16.txt");
-            std::printf("wrote results/stats/%s_{precise,lva0,"
-                        "lva16}.txt\n", name.c_str());
+                .writeFile(
+                    resultsPath("stats/" + name + "_lva16.txt"));
+            std::printf(
+                "wrote %s\n",
+                resultsPath("stats/" + name + "_{precise,lva0,lva16}.txt")
+                    .c_str());
         }
     }
+    std::printf("wrote %s\n",
+                writeStatsJson("fsdiag", fsSweepSnapshots(sweeps))
+                    .c_str());
     return 0;
 }

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 
+#include "eval/stat_report.hh"
 #include "eval/sweep.hh"
 #include "util/bench_timer.hh"
+#include "util/results_dir.hh"
 #include "util/table.hh"
 
 int
@@ -43,18 +45,27 @@ main()
                                        Evaluator::baselineLva())};
         });
 
+    std::vector<NamedSnapshot> snaps;
     for (std::size_t row = 0; row < names.size(); ++row) {
         const Point &p = results[row];
+        const double mpki = p.precise.stats.valueOf("eval.mpki");
         table.addRow({names[row],
-                      p.precise.mpki < 0.01
-                          ? fmtDouble(p.precise.mpki, 6)
-                          : fmtDouble(p.precise.mpki, 2),
-                      fmtPercent(p.lva.instrVariation, 2),
+                      mpki < 0.01 ? fmtDouble(mpki, 6)
+                                  : fmtDouble(mpki, 2),
+                      fmtPercent(p.lva.stats.valueOf(
+                                     "eval.instrVariation"),
+                                 2),
                       paper_mpki[row], paper_var[row]});
+        snaps.push_back(
+            {names[row] + "/precise", names[row], p.precise.stats});
+        snaps.push_back({names[row] + "/lva", names[row], p.lva.stats});
     }
 
     table.print("Table I: precise L1 MPKI and instruction variation");
-    table.writeCsv("results/table1_mpki.csv");
-    std::printf("\nwrote results/table1_mpki.csv\n");
+    table.writeCsv(resultsPath("table1_mpki.csv"));
+    std::printf("\nwrote %s\n",
+                resultsPath("table1_mpki.csv").c_str());
+    std::printf("wrote %s\n",
+                writeStatsJson("table1_mpki", snaps).c_str());
     return 0;
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Validate docs/metrics.md against the registry self-dump, both ways:
+# every documented metric path must exist in a registry (or derived
+# catalog) and every registered path must be documented.
+#
+# Usage: scripts/check_docs.sh [path-to-lva_stats_catalog]
+#   (default: build/tools/lva_stats_catalog)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CATALOG_BIN="${1:-build/tools/lva_stats_catalog}"
+DOC=docs/metrics.md
+
+if [[ ! -x "$CATALOG_BIN" ]]; then
+    echo "check_docs: $CATALOG_BIN not built (cmake --build build)" >&2
+    exit 1
+fi
+
+dump="$(mktemp)"
+docpaths="$(mktemp)"
+trap 'rm -f "$dump" "$docpaths"' EXIT
+
+"$CATALOG_BIN" | cut -f1 | LC_ALL=C sort -u > "$dump"
+
+# Documented paths: the first backticked token of each table row
+# between the catalog markers.
+awk '/<!-- catalog:begin -->/{on=1} /<!-- catalog:end -->/{on=0}
+     on && /^\| `/ { split($0, f, "`"); print f[2] }' "$DOC" \
+    | LC_ALL=C sort -u > "$docpaths"
+
+status=0
+
+undocumented="$(comm -23 "$dump" "$docpaths")"
+if [[ -n "$undocumented" ]]; then
+    echo "check_docs: registered stats missing from $DOC:" >&2
+    echo "$undocumented" | sed 's/^/  /' >&2
+    status=1
+fi
+
+stale="$(comm -13 "$dump" "$docpaths")"
+if [[ -n "$stale" ]]; then
+    echo "check_docs: $DOC documents paths no registry provides:" >&2
+    echo "$stale" | sed 's/^/  /' >&2
+    status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+    echo "check_docs: $DOC matches the registry self-dump" \
+         "($(wc -l < "$dump") paths)"
+fi
+exit "$status"

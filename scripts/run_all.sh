@@ -35,6 +35,9 @@ if [[ "$MODE" == "quick" ]]; then
     cmake -B build-tsan -G Ninja -DLVA_TSAN=ON
     cmake --build build-tsan --target tsan_sweep_check
     ./build-tsan/tests/tsan_sweep_check
+
+    # docs/metrics.md must match the registry self-dump both ways.
+    scripts/check_docs.sh build/tools/lva_stats_catalog
 fi
 
 declare -A BENCH_SECONDS

@@ -20,23 +20,68 @@ memModeName(MemMode mode)
     return "?";
 }
 
+LaneCounters::LaneCounters(StatRegistry &reg, const std::string &prefix)
+    : instructions(reg.counter(
+          StatRegistry::joinPath(prefix, "instructions"),
+          "dynamic instructions (incl. memory ops)")),
+      loads(reg.counter(StatRegistry::joinPath(prefix, "loads"),
+                        "load instructions issued")),
+      stores(reg.counter(StatRegistry::joinPath(prefix, "stores"),
+                         "store instructions issued")),
+      loadMisses(reg.counter(
+          StatRegistry::joinPath(prefix, "loadMisses"),
+          "raw L1 load misses")),
+      effectiveMisses(reg.counter(
+          StatRegistry::joinPath(prefix, "effectiveMisses"),
+          "misses not hidden by approximation/LVP")),
+      fetches(reg.counter(StatRegistry::joinPath(prefix, "fetches"),
+                          "L1 block fills (demand + train + prefetch)")),
+      approxLoads(reg.counter(
+          StatRegistry::joinPath(prefix, "approxLoads"),
+          "loads returning an approximate value")),
+      approximableLoads(reg.counter(
+          StatRegistry::joinPath(prefix, "approximableLoads"),
+          "loads to annotated data"))
+{
+}
+
+MemMetrics
+LaneCounters::value() const
+{
+    MemMetrics m;
+    m.instructions = instructions.value();
+    m.loads = loads.value();
+    m.stores = stores.value();
+    m.loadMisses = loadMisses.value();
+    m.effectiveMisses = effectiveMisses.value();
+    m.fetches = fetches.value();
+    m.approxLoads = approxLoads.value();
+    m.approximableLoads = approximableLoads.value();
+    return m;
+}
+
 ApproxMemory::ApproxMemory(const Config &config) : config_(config)
 {
     lva_assert(config.threads > 0, "need at least one thread");
     lanes_.resize(config.threads);
-    for (auto &lane : lanes_) {
-        lane.cache = std::make_unique<Cache>(config.cache);
+    for (u32 t = 0; t < config.threads; ++t) {
+        Lane &lane = lanes_[t];
+        const std::string tp = "thread" + std::to_string(t);
+        lane.cache = std::make_unique<Cache>(config.cache, registry_,
+                                             tp + ".l1");
+        lane.mem = std::make_unique<LaneCounters>(registry_, tp + ".mem");
         switch (config.mode) {
           case MemMode::Lva:
-            lane.lva =
-                std::make_unique<LoadValueApproximator>(config.approx);
+            lane.lva = std::make_unique<LoadValueApproximator>(
+                config.approx, registry_, tp + ".lva");
             break;
           case MemMode::Lvp:
-            lane.lvp = std::make_unique<IdealizedLvp>(config.approx);
+            lane.lvp = std::make_unique<IdealizedLvp>(
+                config.approx, registry_, tp + ".lvp");
             break;
           case MemMode::Prefetch:
-            lane.prefetcher =
-                std::make_unique<GhbPrefetcher>(config.prefetch);
+            lane.prefetcher = std::make_unique<GhbPrefetcher>(
+                config.prefetch, registry_, tp + ".prefetch");
             break;
           case MemMode::Precise:
             break;
@@ -65,11 +110,11 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
 {
     (void)dependent; // functional simulation: timing-only property
     Lane &lane = laneFor(tid);
-    MemMetrics &m = lane.metrics;
-    ++m.instructions;
-    ++m.loads;
+    LaneCounters &m = *lane.mem;
+    m.instructions.inc();
+    m.loads.inc();
     if (approximable)
-        ++m.approximableLoads;
+        m.approximableLoads.inc();
 
     const bool hit = lane.cache->access(addr, /*is_write=*/false);
     if (hit) {
@@ -82,22 +127,22 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
         return precise;
     }
 
-    ++m.loadMisses;
+    m.loadMisses.inc();
 
     // --- LVA: the approximator may hide the miss and cancel the fetch.
     if (lane.lva && approximable) {
         const MissResponse resp = lane.lva->onMiss(pc, precise);
         if (resp.fetch) {
             lane.cache->insert(addr);
-            ++m.fetches;
+            m.fetches.inc();
         }
         if (resp.approximated) {
-            ++m.approxLoads;
+            m.approxLoads.inc();
             // Approximated values count as cache hits for effective
             // MPKI (paper section V-A).
             return resp.value;
         }
-        ++m.effectiveMisses;
+        m.effectiveMisses.inc();
         return precise;
     }
 
@@ -105,11 +150,11 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
     if (lane.lvp && approximable) {
         const bool correct = lane.lvp->onMiss(pc, precise);
         lane.cache->insert(addr);
-        ++m.fetches;
+        m.fetches.inc();
         if (correct) {
-            ++m.approxLoads;
+            m.approxLoads.inc();
         } else {
-            ++m.effectiveMisses;
+            m.effectiveMisses.inc();
         }
         // LVP output is always precise (mispredictions roll back).
         return precise;
@@ -119,22 +164,22 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
     // Unlike LVA, prefetching applies to all loads, annotated or not
     // (paper section VI-D).
     if (lane.prefetcher) {
-        ++m.effectiveMisses;
+        m.effectiveMisses.inc();
         lane.cache->insert(addr);
-        ++m.fetches;
+        m.fetches.inc();
         for (const Addr pf : lane.prefetcher->onMiss(pc, addr)) {
             if (!lane.cache->probe(pf)) {
                 lane.cache->insert(pf);
-                ++m.fetches;
+                m.fetches.inc();
             }
         }
         return precise;
     }
 
     // --- Precise baseline (or non-annotated load under LVA/LVP).
-    ++m.effectiveMisses;
+    m.effectiveMisses.inc();
     lane.cache->insert(addr);
-    ++m.fetches;
+    m.fetches.inc();
     return precise;
 }
 
@@ -143,23 +188,23 @@ ApproxMemory::store(ThreadId tid, LoadSiteId pc, Addr addr)
 {
     (void)pc;
     Lane &lane = laneFor(tid);
-    MemMetrics &m = lane.metrics;
-    ++m.instructions;
-    ++m.stores;
+    LaneCounters &m = *lane.mem;
+    m.instructions.inc();
+    m.stores.inc();
 
     // Write-allocate, write-back; store misses are off the critical
     // path (paper section V-A) and never approximated, but they do
     // fetch blocks.
     if (!lane.cache->access(addr, /*is_write=*/true)) {
         lane.cache->insert(addr, /*is_write=*/true);
-        ++m.fetches;
+        m.fetches.inc();
     }
 }
 
 void
 ApproxMemory::tickInstructions(ThreadId tid, u64 n)
 {
-    laneFor(tid).metrics.instructions += n;
+    laneFor(tid).mem->instructions.inc(n);
 }
 
 void
@@ -178,7 +223,7 @@ ApproxMemory::metrics() const
 {
     MemMetrics total;
     for (const auto &lane : lanes_) {
-        const MemMetrics &m = lane.metrics;
+        const MemMetrics m = lane.mem->value();
         total.instructions += m.instructions;
         total.loads += m.loads;
         total.stores += m.stores;
@@ -189,6 +234,12 @@ ApproxMemory::metrics() const
         total.approximableLoads += m.approximableLoads;
     }
     return total;
+}
+
+MemMetrics
+ApproxMemory::metricsFor(ThreadId tid) const
+{
+    return laneFor(tid).mem->value();
 }
 
 const Cache &

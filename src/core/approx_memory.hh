@@ -14,6 +14,7 @@
 #define LVA_CORE_APPROX_MEMORY_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/approximator.hh"
@@ -21,6 +22,7 @@
 #include "core/memory_backend.hh"
 #include "mem/cache.hh"
 #include "prefetch/ghb_prefetcher.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 
 namespace lva {
@@ -78,6 +80,27 @@ struct MemMetrics
 };
 
 /**
+ * Live per-thread memory counters, registry-backed under
+ * "<prefix>.instructions" etc.; value() copies them out into the
+ * plain MemMetrics aggregate used by reporting code.
+ */
+struct LaneCounters
+{
+    LaneCounters(StatRegistry &reg, const std::string &prefix);
+
+    Counter &instructions;
+    Counter &loads;
+    Counter &stores;
+    Counter &loadMisses;
+    Counter &effectiveMisses;
+    Counter &fetches;
+    Counter &approxLoads;
+    Counter &approximableLoads;
+
+    MemMetrics value() const;
+};
+
+/**
  * Functional memory simulator with one private L1 (and one mechanism
  * instance) per logical thread, as in the paper's 4-thread PARSEC runs.
  */
@@ -108,6 +131,19 @@ class ApproxMemory : public MemoryBackend
     /** Metrics summed over all threads. */
     MemMetrics metrics() const;
 
+    /** Metrics of one thread (tests, per-lane reporting). */
+    MemMetrics metricsFor(ThreadId tid) const;
+
+    /**
+     * The simulation's stat registry; all per-thread component stats
+     * live here under "thread<N>.{mem,l1,lva,lvp,prefetch}.*".
+     */
+    const StatRegistry &registry() const { return registry_; }
+    StatRegistry &registry() { return registry_; }
+
+    /** Convenience: snapshot of the whole registry. */
+    StatSnapshot snapshot() const { return registry_.snapshot(); }
+
     /** Per-thread component access (tests, detailed reporting). */
     const Cache &cacheFor(ThreadId tid) const;
     const LoadValueApproximator &approximatorFor(ThreadId tid) const;
@@ -121,13 +157,14 @@ class ApproxMemory : public MemoryBackend
         std::unique_ptr<LoadValueApproximator> lva;
         std::unique_ptr<IdealizedLvp> lvp;
         std::unique_ptr<GhbPrefetcher> prefetcher;
-        MemMetrics metrics;
+        std::unique_ptr<LaneCounters> mem;
     };
 
     Lane &laneFor(ThreadId tid);
     const Lane &laneFor(ThreadId tid) const;
 
     Config config_;
+    StatRegistry registry_; ///< declared before lanes_: stats outlive refs
     std::vector<Lane> lanes_;
 };
 

@@ -34,9 +34,64 @@ ApproximatorConfig::storageBytes(u32 value_bytes) const
     return (u64(tableEntries) * entry_bits + ghb_bits + 7) / 8;
 }
 
+ApproximatorStats::ApproximatorStats(StatRegistry &reg,
+                                     const std::string &prefix)
+    : lookups(reg.counter(
+          StatRegistry::joinPath(prefix, "lookups"),
+          "misses presented to the approximator")),
+      approximations(reg.counter(
+          StatRegistry::joinPath(prefix, "approximations"),
+          "misses answered with X_approx")),
+      fetchesSkipped(reg.counter(
+          StatRegistry::joinPath(prefix, "fetchesSkipped"),
+          "block fetches cancelled by the degree counter")),
+      trainings(reg.counter(
+          StatRegistry::joinPath(prefix, "trainings"),
+          "X_actual arrivals applied")),
+      allocations(reg.counter(
+          StatRegistry::joinPath(prefix, "allocations"),
+          "table entries (re)allocated")),
+      confRejects(reg.counter(
+          StatRegistry::joinPath(prefix, "confRejects"),
+          "misses rejected by the confidence gate")),
+      coldRejects(reg.counter(
+          StatRegistry::joinPath(prefix, "coldRejects"),
+          "misses with no history yet")),
+      staleDrops(reg.counter(
+          StatRegistry::joinPath(prefix, "staleDrops"),
+          "trainings dropped after re-allocation")),
+      error(reg.histogram(
+          StatRegistry::joinPath(prefix, "error"), 0.0, 1.0, 20,
+          "relative error of validated estimates", "rel_error")),
+      occupancy(reg.gauge(
+          StatRegistry::joinPath(prefix, "occupancy"),
+          "valid table entries at drain", "entries"))
+{
+}
+
 LoadValueApproximator::LoadValueApproximator(
     const ApproximatorConfig &config)
-    : config_(config), ghb_(config.ghbEntries)
+    : LoadValueApproximator(config, nullptr, "lva")
+{
+}
+
+LoadValueApproximator::LoadValueApproximator(
+    const ApproximatorConfig &config, StatRegistry &reg,
+    const std::string &prefix)
+    : LoadValueApproximator(config, &reg, prefix)
+{
+}
+
+LoadValueApproximator::LoadValueApproximator(
+    const ApproximatorConfig &config, StatRegistry *reg,
+    const std::string &prefix)
+    : config_(config), ghb_(config.ghbEntries),
+      ownedReg_(reg == nullptr ? std::make_unique<StatRegistry>()
+                               : nullptr),
+      reg_(reg != nullptr ? reg : ownedReg_.get()),
+      traceApprox_(StatRegistry::joinPath(prefix, "approx")),
+      traceTrain_(StatRegistry::joinPath(prefix, "train")),
+      stats_(*reg_, prefix)
 {
     lva_assert(config.tableEntries > 0, "table must have entries");
     lva_assert(config.lhbEntries > 0, "LHB must have entries");
@@ -165,6 +220,7 @@ LoadValueApproximator::onMiss(LoadSiteId pc, const Value &precise)
     resp.approximated = true;
     resp.value = xhat;
     stats_.approximations.inc();
+    reg_->trace(traceApprox_, xhat.toReal());
 
     if (entry.degree.atZero()) {
         // Degree exhausted: fetch the block to train, then rearm.
@@ -218,6 +274,7 @@ void
 LoadValueApproximator::applyTraining(const PendingTrain &train)
 {
     stats_.trainings.inc();
+    reg_->trace(traceTrain_, train.actual.toReal());
 
     // X_actual always enters the global history on arrival.
     ghb_.push(train.actual);
@@ -231,6 +288,10 @@ LoadValueApproximator::applyTraining(const PendingTrain &train)
     }
 
     if (train.xhat.has_value()) {
+        const double validated_rel = relativeError(
+            train.xhat->toReal(), train.actual.toReal());
+        stats_.error.sample(
+            std::isnan(validated_rel) ? 1.0 : validated_rel);
         const bool close = std::isinf(config_.confidenceWindow)
                                ? true
                                : withinWindow(*train.xhat, train.actual,
@@ -264,6 +325,7 @@ LoadValueApproximator::drainPending()
         applyTraining(pending_.front());
         pending_.pop_front();
     }
+    stats_.occupancy.set(static_cast<double>(validEntries()));
 }
 
 u32

@@ -16,12 +16,15 @@
 #define LVA_CORE_APPROXIMATOR_HH
 
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/approximator_config.hh"
 #include "core/history_buffer.hh"
 #include "util/sat_counter.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 #include "util/value.hh"
@@ -41,17 +44,26 @@ struct MissResponse
     Value value{};
 };
 
-/** Event counts for the approximator. */
+/**
+ * Event counts for the approximator, registry-backed under
+ * "<prefix>.lookups" etc.; the error histogram buckets the relative
+ * error of every validated estimate (X_hat vs X_actual) and the
+ * occupancy gauge tracks valid table entries at drain time.
+ */
 struct ApproximatorStats
 {
-    Counter lookups;        ///< misses presented to the approximator
-    Counter approximations; ///< misses answered with X_approx
-    Counter fetchesSkipped; ///< misses whose block fetch was cancelled
-    Counter trainings;      ///< X_actual arrivals applied to the table
-    Counter allocations;    ///< table entries (re)allocated on tag miss
-    Counter confRejects;    ///< misses rejected by the confidence gate
-    Counter coldRejects;    ///< misses with a matching tag but empty LHB
-    Counter staleDrops;     ///< trainings dropped: entry re-allocated
+    ApproximatorStats(StatRegistry &reg, const std::string &prefix);
+
+    Counter &lookups;        ///< misses presented to the approximator
+    Counter &approximations; ///< misses answered with X_approx
+    Counter &fetchesSkipped; ///< misses whose block fetch was cancelled
+    Counter &trainings;      ///< X_actual arrivals applied to the table
+    Counter &allocations;    ///< table entries (re)allocated on tag miss
+    Counter &confRejects;    ///< misses rejected by the confidence gate
+    Counter &coldRejects;    ///< misses with a matching tag but empty LHB
+    Counter &staleDrops;     ///< trainings dropped: entry re-allocated
+    Histogram &error;        ///< relative error of validated estimates
+    Gauge &occupancy;        ///< valid table entries (set at drain)
 
     void
     reset()
@@ -64,6 +76,8 @@ struct ApproximatorStats
         confRejects.reset();
         coldRejects.reset();
         staleDrops.reset();
+        error.reset();
+        occupancy.reset();
     }
 };
 
@@ -79,7 +93,12 @@ struct ApproximatorStats
 class LoadValueApproximator
 {
   public:
+    /** Standalone approximator with a private registry ("lva.*"). */
     explicit LoadValueApproximator(const ApproximatorConfig &config);
+
+    /** Approximator whose stats register in @p reg under @p prefix. */
+    LoadValueApproximator(const ApproximatorConfig &config,
+                          StatRegistry &reg, const std::string &prefix);
 
     const ApproximatorConfig &config() const { return config_; }
 
@@ -172,12 +191,19 @@ class LoadValueApproximator
                          const std::optional<Value> &xhat,
                          const Value &actual);
 
+    LoadValueApproximator(const ApproximatorConfig &config,
+                          StatRegistry *reg, const std::string &prefix);
+
     ApproximatorConfig config_;
     std::vector<Entry> table_;
     HistoryBuffer ghb_;
     std::deque<PendingTrain> pending_;
     u64 loadCount_ = 0;
     u64 useClock_ = 0;
+    std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
+    StatRegistry *reg_;
+    std::string traceApprox_; ///< precomputed tracer paths
+    std::string traceTrain_;
     ApproximatorStats stats_;
 };
 

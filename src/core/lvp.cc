@@ -5,8 +5,38 @@
 
 namespace lva {
 
+LvpStats::LvpStats(StatRegistry &reg, const std::string &prefix)
+    : lookups(reg.counter(StatRegistry::joinPath(prefix, "lookups"),
+                          "misses presented to the predictor")),
+      correct(reg.counter(StatRegistry::joinPath(prefix, "correct"),
+                          "oracle-correct predictions")),
+      incorrect(reg.counter(StatRegistry::joinPath(prefix, "incorrect"),
+                            "mispredictions (rolled back)")),
+      cold(reg.counter(StatRegistry::joinPath(prefix, "cold"),
+                       "misses with no usable history")),
+      trainings(reg.counter(StatRegistry::joinPath(prefix, "trainings"),
+                            "actual values applied to the table"))
+{
+}
+
 IdealizedLvp::IdealizedLvp(const ApproximatorConfig &config)
-    : config_(config), ghb_(config.ghbEntries)
+    : IdealizedLvp(config, nullptr, "lvp")
+{
+}
+
+IdealizedLvp::IdealizedLvp(const ApproximatorConfig &config,
+                           StatRegistry &reg, const std::string &prefix)
+    : IdealizedLvp(config, &reg, prefix)
+{
+}
+
+IdealizedLvp::IdealizedLvp(const ApproximatorConfig &config,
+                           StatRegistry *reg, const std::string &prefix)
+    : config_(config), ghb_(config.ghbEntries),
+      ownedReg_(reg == nullptr ? std::make_unique<StatRegistry>()
+                               : nullptr),
+      reg_(reg != nullptr ? reg : ownedReg_.get()),
+      stats_(*reg_, prefix)
 {
     lva_assert(config.tableEntries > 0, "table must have entries");
     table_.reserve(config.tableEntries);

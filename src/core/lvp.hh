@@ -15,24 +15,29 @@
 #define LVA_CORE_LVP_HH
 
 #include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/approximator_config.hh"
 #include "core/history_buffer.hh"
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 #include "util/value.hh"
 
 namespace lva {
 
-/** Event counts for the idealized predictor. */
+/** Event counts for the idealized predictor (registry-backed). */
 struct LvpStats
 {
-    Counter lookups;     ///< misses presented
-    Counter correct;     ///< oracle-correct predictions (hide the miss)
-    Counter incorrect;   ///< mispredictions (rollback; full miss cost)
-    Counter cold;        ///< no usable history (no prediction made)
-    Counter trainings;
+    LvpStats(StatRegistry &reg, const std::string &prefix);
+
+    Counter &lookups;     ///< misses presented
+    Counter &correct;     ///< oracle-correct predictions (hide the miss)
+    Counter &incorrect;   ///< mispredictions (rollback; full miss cost)
+    Counter &cold;        ///< no usable history (no prediction made)
+    Counter &trainings;
 
     void
     reset()
@@ -52,7 +57,12 @@ struct LvpStats
 class IdealizedLvp
 {
   public:
+    /** Standalone predictor with a private registry ("lvp.*"). */
     explicit IdealizedLvp(const ApproximatorConfig &config);
+
+    /** Predictor whose stats register in @p reg under @p prefix. */
+    IdealizedLvp(const ApproximatorConfig &config, StatRegistry &reg,
+                 const std::string &prefix);
 
     /**
      * Handle an L1 load miss.
@@ -91,11 +101,16 @@ class IdealizedLvp
 
     void applyDueTrainings();
 
+    IdealizedLvp(const ApproximatorConfig &config, StatRegistry *reg,
+                 const std::string &prefix);
+
     ApproximatorConfig config_;
     std::vector<Entry> table_;
     HistoryBuffer ghb_;
     std::deque<PendingTrain> pending_;
     u64 loadCount_ = 0;
+    std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
+    StatRegistry *reg_;
     LvpStats stats_;
 };
 

@@ -2,6 +2,46 @@
 
 namespace lva {
 
+EnergyEventCounters::EnergyEventCounters(StatRegistry &reg,
+                                         const std::string &prefix)
+    : l1Accesses(reg.counter(
+          StatRegistry::joinPath(prefix, "l1Accesses"),
+          "L1 reads and writes")),
+      l2Accesses(reg.counter(
+          StatRegistry::joinPath(prefix, "l2Accesses"),
+          "L2 bank accesses")),
+      dramAccesses(reg.counter(
+          StatRegistry::joinPath(prefix, "dramAccesses"),
+          "64 B DRAM transfers")),
+      nocFlitHops(reg.counter(
+          StatRegistry::joinPath(prefix, "nocFlitHops"),
+          "flit-hops on the fast NoC plane")),
+      nocFlitHopsSlow(reg.counter(
+          StatRegistry::joinPath(prefix, "nocFlitHopsSlow"),
+          "flit-hops on the slow (training) NoC plane")),
+      approxLookups(reg.counter(
+          StatRegistry::joinPath(prefix, "approxLookups"),
+          "approximator table reads")),
+      approxTrains(reg.counter(
+          StatRegistry::joinPath(prefix, "approxTrains"),
+          "approximator table updates"))
+{
+}
+
+EnergyEvents
+EnergyEventCounters::value() const
+{
+    EnergyEvents e;
+    e.l1Accesses = l1Accesses.value();
+    e.l2Accesses = l2Accesses.value();
+    e.dramAccesses = dramAccesses.value();
+    e.nocFlitHops = nocFlitHops.value();
+    e.nocFlitHopsSlow = nocFlitHopsSlow.value();
+    e.approxLookups = approxLookups.value();
+    e.approxTrains = approxTrains.value();
+    return e;
+}
+
 EnergyBreakdown
 computeEnergy(const EnergyEvents &events, const EnergyParams &params)
 {

@@ -14,6 +14,9 @@
 #ifndef LVA_ENERGY_ENERGY_MODEL_HH
 #define LVA_ENERGY_ENERGY_MODEL_HH
 
+#include <string>
+
+#include "util/stat_registry.hh"
 #include "util/types.hh"
 
 namespace lva {
@@ -42,6 +45,26 @@ struct EnergyEvents
     u64 nocFlitHopsSlow = 0; ///< on the heterogeneous (slow) plane
     u64 approxLookups = 0;
     u64 approxTrains = 0;
+};
+
+/**
+ * Live energy-event counters, registry-backed under
+ * "<prefix>.l1Accesses" etc.; value() copies them out into the plain
+ * EnergyEvents aggregate consumed by computeEnergy().
+ */
+struct EnergyEventCounters
+{
+    EnergyEventCounters(StatRegistry &reg, const std::string &prefix);
+
+    Counter &l1Accesses;
+    Counter &l2Accesses;
+    Counter &dramAccesses;
+    Counter &nocFlitHops;
+    Counter &nocFlitHopsSlow;
+    Counter &approxLookups;
+    Counter &approxTrains;
+
+    EnergyEvents value() const;
 };
 
 /** Energy breakdown in nanojoules. */

@@ -35,6 +35,55 @@ scaleFromEnv()
 
 } // namespace
 
+const std::vector<EvalMetricDef> &
+evalMetricDefs()
+{
+    static const std::vector<EvalMetricDef> defs = {
+        {"eval.preciseMpki", "baseline effective MPKI", "misses/kinst"},
+        {"eval.mpki", "configured effective MPKI", "misses/kinst"},
+        {"eval.normMpki", "MPKI normalized to precise", "ratio"},
+        {"eval.preciseFetches", "baseline L1 block fills", "blocks"},
+        {"eval.fetches", "configured L1 block fills", "blocks"},
+        {"eval.normFetches", "fetches normalized to precise", "ratio"},
+        {"eval.outputError", "application output error", "fraction"},
+        {"eval.coverage", "approximated / approximable loads",
+         "fraction"},
+        {"eval.instrVariation",
+         "|instructions - precise| / precise", "fraction"},
+        {"eval.instructions", "dynamic instructions (configured run)",
+         "insts"},
+    };
+    return defs;
+}
+
+const std::vector<EvalMetricDef> &
+workloadStaticDefs()
+{
+    static const std::vector<EvalMetricDef> defs = {
+        {"workload.staticApproxLoads",
+         "static (distinct) PCs of approximate loads", "sites"},
+        {"workload.staticLoads", "all static load PCs", "sites"},
+    };
+    return defs;
+}
+
+void
+applyEvalDerived(StatSnapshot &snap, const EvalResult &r)
+{
+    const double values[] = {
+        r.preciseMpki,   r.mpki,        r.normMpki,
+        r.preciseFetches, r.fetches,    r.normFetches,
+        r.outputError,   r.coverage,    r.instrVariation,
+        r.instructions,
+    };
+    const auto &defs = evalMetricDefs();
+    lva_assert(defs.size() == sizeof(values) / sizeof(values[0]),
+               "eval metric catalog out of sync");
+    for (std::size_t i = 0; i < defs.size(); ++i)
+        snap.setGauge(defs[i].path, values[i], defs[i].desc,
+                      defs[i].unit);
+}
+
 Evaluator::Evaluator(u32 seeds, double scale)
     : seeds_(seeds ? seeds : seedsFromEnv()),
       scale_(scale > 0.0 ? scale : scaleFromEnv())
@@ -83,6 +132,7 @@ Evaluator::golden(const std::string &name, WorkloadFactory factory,
         ApproxMemory mem(preciseConfig());
         g.workload->run(mem);
         g.metrics = mem.metrics();
+        g.stats = mem.snapshot();
     });
 
     return slot->golden;
@@ -117,6 +167,10 @@ Evaluator::evaluate(const std::string &name,
         ApproxMemory mem(cfg);
         w->run(mem);
         const MemMetrics m = mem.metrics();
+        // Seed order is fixed, so the merged snapshot (counters sum,
+        // gauges last-seed-wins) is deterministic regardless of how
+        // sweep points are scheduled across threads.
+        avg.stats.merge(mem.snapshot());
 
         const double base_mpki = base.metrics.mpki();
         const double base_fetches =
@@ -155,6 +209,7 @@ Evaluator::evaluate(const std::string &name,
     avg.coverage = sum_coverage / n;
     avg.instrVariation = sum_var / n;
     avg.instructions = sum_instr / n;
+    applyEvalDerived(avg.stats, avg);
     return avg;
 }
 
@@ -171,6 +226,7 @@ Evaluator::evaluatePrecise(const std::string &name)
         sum_mpki += base.metrics.mpki();
         sum_instr += static_cast<double>(base.metrics.instructions);
         sum_fetches += static_cast<double>(base.metrics.fetches);
+        avg.stats.merge(base.stats);
     }
     const double n = static_cast<double>(seeds_);
     avg.preciseMpki = avg.mpki = sum_mpki / n;
@@ -178,6 +234,7 @@ Evaluator::evaluatePrecise(const std::string &name)
     avg.instructions = sum_instr / n;
     avg.normMpki = 1.0;
     avg.normFetches = 1.0;
+    applyEvalDerived(avg.stats, avg);
     return avg;
 }
 

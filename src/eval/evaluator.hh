@@ -13,8 +13,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/approx_memory.hh"
+#include "util/stat_registry.hh"
 #include "workloads/workload.hh"
 
 namespace lva {
@@ -32,7 +34,34 @@ struct EvalResult
     double coverage = 0.0;      ///< approximated / approximable loads
     double instrVariation = 0.0;///< |instr - instr_precise| / precise
     double instructions = 0.0;  ///< dynamic instructions (configured run)
+
+    /**
+     * Registry snapshot merged over all seeds (counters summed), with
+     * the seed-averaged derived metrics folded in as "eval.*" gauges.
+     */
+    StatSnapshot stats{};
 };
+
+/** Catalog row for one "eval.*" derived gauge. */
+struct EvalMetricDef
+{
+    const char *path;
+    const char *desc;
+    const char *unit;
+};
+
+/** The fixed catalog of derived metrics exported under "eval.*". */
+const std::vector<EvalMetricDef> &evalMetricDefs();
+
+/** Fold the derived metrics of @p r into @p snap as "eval.*" gauges. */
+void applyEvalDerived(StatSnapshot &snap, const EvalResult &r);
+
+/**
+ * Catalog of the static-workload gauges exported under "workload.*"
+ * (fig12): [0] static approximate load sites, [1] all static load
+ * sites.
+ */
+const std::vector<EvalMetricDef> &workloadStaticDefs();
 
 /**
  * Runs and caches evaluations.
@@ -83,6 +112,7 @@ class Evaluator
     {
         std::unique_ptr<Workload> workload; ///< completed precise run
         MemMetrics metrics;
+        StatSnapshot stats;
     };
 
     /** One memoization slot; the flag latches concurrent builders. */

@@ -49,4 +49,19 @@ runFullSystemSweep(const std::string &workload,
     return sweep;
 }
 
+std::vector<NamedSnapshot>
+fsSweepSnapshots(const std::vector<FsSweep> &sweeps)
+{
+    std::vector<NamedSnapshot> snaps;
+    for (const FsSweep &s : sweeps) {
+        snaps.push_back(
+            {s.workload + "/baseline", s.workload, s.baseline.stats});
+        for (std::size_t i = 0; i < s.lva.size(); ++i)
+            snaps.push_back(
+                {s.workload + "/lva-d" + std::to_string(s.degrees[i]),
+                 s.workload, s.lva[i].stats});
+    }
+    return snaps;
+}
+
 } // namespace lva

@@ -1,5 +1,13 @@
 #include "eval/stat_report.hh"
 
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+#include "util/results_dir.hh"
+#include "util/stats_json.hh"
+
 namespace lva {
 
 void
@@ -83,16 +91,13 @@ appendMemMetrics(StatDump &dump, const std::string &prefix,
 StatDump
 reportApproxMemory(const ApproxMemory &mem, const std::string &prefix)
 {
+    // Aggregate metrics first, then the whole registry: every
+    // per-thread component stat ("thread<N>.l1.*", "thread<N>.lva.*",
+    // "thread<N>.mem.*") flows from the same snapshot that the JSON
+    // export serializes.
     StatDump dump;
     appendMemMetrics(dump, prefix, mem.metrics());
-    for (u32 t = 0; t < mem.config().threads; ++t) {
-        const std::string tp = prefix + ".thread" + std::to_string(t);
-        appendCacheStats(dump, tp + ".l1", mem.cacheFor(t).stats());
-        if (mem.config().mode == MemMode::Lva) {
-            appendApproximatorStats(dump, tp + ".lva",
-                                    mem.approximatorFor(t).stats());
-        }
-    }
+    appendSnapshot(dump, prefix, mem.snapshot());
     return dump;
 }
 
@@ -140,6 +145,101 @@ reportFullSystem(const FullSystemResult &r, const std::string &prefix)
     dump.add(prefix + ".missEdp", r.missEdp(),
              "L1-miss energy-delay product");
     return dump;
+}
+
+void
+appendSnapshot(StatDump &dump, const std::string &prefix,
+               const StatSnapshot &snap)
+{
+    for (const SnapEntry &e : snap.entries) {
+        const std::string path = StatRegistry::joinPath(prefix, e.path);
+        switch (e.type) {
+          case StatType::Counter:
+            dump.add(path, static_cast<double>(e.count), e.desc);
+            break;
+          case StatType::Gauge:
+            dump.add(path, e.gauge, e.desc);
+            break;
+          case StatType::Histogram:
+            dump.add(path + ".total",
+                     static_cast<double>(e.histTotal), e.desc);
+            dump.add(path + ".underflow",
+                     static_cast<double>(e.histUnderflow),
+                     "samples below " + jsonDouble(e.histLo));
+            dump.add(path + ".overflow",
+                     static_cast<double>(e.histOverflow),
+                     "samples at or above " + jsonDouble(e.histHi));
+            break;
+        }
+    }
+}
+
+std::string
+renderStatsJson(const std::string &driver,
+                const std::vector<NamedSnapshot> &snaps)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": " +
+           jsonQuote(statsJsonSchema()) + ",\n";
+    out += "  \"driver\": " + jsonQuote(driver) + ",\n";
+    out += "  \"points\": [";
+    bool first = true;
+    for (const NamedSnapshot &s : snaps) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\n      \"label\": " + jsonQuote(s.label);
+        if (!s.workload.empty())
+            out += ",\n      \"workload\": " + jsonQuote(s.workload);
+        out += ",\n      \"stats\": " + snapshotToJson(s.stats, 6);
+        out += "\n    }";
+    }
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+void
+checkStatsFileSchema(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return; // nothing to clobber
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto key = line.find("\"schema\"");
+        if (key == std::string::npos)
+            continue;
+        const std::string want =
+            jsonQuote(statsJsonSchema());
+        if (line.find(want, key) == std::string::npos)
+            throw std::runtime_error(
+                "stats export " + path +
+                " carries a different schema version than " +
+                statsJsonSchema() +
+                "; refusing to truncate it (move it aside first)");
+        return;
+    }
+    // A file without any schema tag is not ours to overwrite.
+    throw std::runtime_error(
+        "stats export " + path +
+        " has no schema tag; refusing to truncate it");
+}
+
+std::string
+writeStatsJson(const std::string &driver,
+               const std::vector<NamedSnapshot> &snaps)
+{
+    const std::string path =
+        resultsPath("stats/" + driver + ".json");
+    checkStatsFileSchema(path);
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open())
+        lva_fatal("cannot open '%s' for writing", path.c_str());
+    out << renderStatsJson(driver, snaps);
+    return path;
 }
 
 } // namespace lva

@@ -8,10 +8,12 @@
 #define LVA_EVAL_STAT_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "core/approx_memory.hh"
 #include "sim/full_system.hh"
 #include "util/stat_dump.hh"
+#include "util/stat_registry.hh"
 
 namespace lva {
 
@@ -37,6 +39,47 @@ StatDump reportApproxMemory(const ApproxMemory &mem,
 /** Full phase-2 report for one timing replay. */
 StatDump reportFullSystem(const FullSystemResult &result,
                           const std::string &prefix = "system");
+
+/**
+ * Flatten a registry snapshot into a StatDump under @p prefix.
+ * Histograms contribute "<path>.total", ".underflow" and ".overflow".
+ */
+void appendSnapshot(StatDump &dump, const std::string &prefix,
+                    const StatSnapshot &snap);
+
+/** One sweep point's snapshot, labelled for the JSON export. */
+struct NamedSnapshot
+{
+    std::string label;    ///< sweep-point label (config description)
+    std::string workload; ///< workload name; may be empty
+    StatSnapshot stats;
+};
+
+/**
+ * Render the versioned stats export: schema tag, driver name, and one
+ * object per sweep point. Byte-deterministic for a given input.
+ */
+std::string renderStatsJson(const std::string &driver,
+                            const std::vector<NamedSnapshot> &snaps);
+
+/**
+ * Guard against silently truncating an export written by a different
+ * schema version: if @p path exists and carries a schema tag other
+ * than statsJsonSchema(), throw std::runtime_error. A missing file,
+ * or one with the current tag, passes.
+ */
+void checkStatsFileSchema(const std::string &path);
+
+/**
+ * Write the export for @p driver to
+ * "<resultsDir()>/stats/<driver>.json" (LVA_RESULTS_DIR honored).
+ * Errors out — it does not truncate — when the existing file has a
+ * different schema version.
+ *
+ * @return the path written
+ */
+std::string writeStatsJson(const std::string &driver,
+                           const std::vector<NamedSnapshot> &snaps);
 
 } // namespace lva
 

@@ -1,5 +1,6 @@
 #include "eval/sweep.hh"
 
+#include "eval/stat_report.hh"
 #include "util/logging.hh"
 
 namespace lva {
@@ -39,6 +40,22 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
         const SweepPoint &p = points[i];
         return eval.evaluate(p.workload, p.config);
     });
+}
+
+std::string
+exportSweepStats(const std::string &driver,
+                 const std::vector<SweepPoint> &points,
+                 const std::vector<EvalResult> &results)
+{
+    lva_assert(points.size() == results.size(),
+               "point/result count mismatch: %zu vs %zu",
+               points.size(), results.size());
+    std::vector<NamedSnapshot> snaps;
+    snaps.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        snaps.push_back(
+            {points[i].label, points[i].workload, results[i].stats});
+    return writeStatsJson(driver, snaps);
 }
 
 } // namespace lva

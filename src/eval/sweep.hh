@@ -101,6 +101,19 @@ class SweepRunner
     std::unique_ptr<ThreadPool> pool_; ///< null when jobs_ == 1
 };
 
+/**
+ * Write the versioned stats JSON export for a completed sweep to
+ * "<resultsDir()>/stats/<driver>.json": one labelled snapshot per
+ * point, in submission order. Because results come back in submission
+ * order and each point's snapshot is merged seed-serially, the bytes
+ * are identical for any LVA_JOBS.
+ *
+ * @return the path written
+ */
+std::string exportSweepStats(const std::string &driver,
+                             const std::vector<SweepPoint> &points,
+                             const std::vector<EvalResult> &results);
+
 } // namespace lva
 
 #endif // LVA_EVAL_SWEEP_HH

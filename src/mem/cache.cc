@@ -6,7 +6,38 @@
 
 namespace lva {
 
-Cache::Cache(const CacheConfig &config) : config_(config)
+CacheStats::CacheStats(StatRegistry &reg, const std::string &prefix)
+    : hits(reg.counter(StatRegistry::joinPath(prefix, "hits"),
+                       "accesses that found the block resident")),
+      misses(reg.counter(StatRegistry::joinPath(prefix, "misses"),
+                         "accesses that missed")),
+      fetches(reg.counter(StatRegistry::joinPath(prefix, "fetches"),
+                          "blocks brought into the cache")),
+      evictions(reg.counter(StatRegistry::joinPath(prefix, "evictions"),
+                            "blocks displaced by fills")),
+      writebacks(reg.counter(StatRegistry::joinPath(prefix, "writebacks"),
+                             "dirty blocks written back"))
+{
+}
+
+Cache::Cache(const CacheConfig &config) : Cache(config, nullptr, "l1")
+{
+}
+
+Cache::Cache(const CacheConfig &config, StatRegistry &reg,
+             const std::string &prefix)
+    : Cache(config, &reg, prefix)
+{
+}
+
+Cache::Cache(const CacheConfig &config, StatRegistry *reg,
+             const std::string &prefix)
+    : config_(config),
+      ownedReg_(reg == nullptr ? std::make_unique<StatRegistry>()
+                               : nullptr),
+      reg_(reg != nullptr ? reg : ownedReg_.get()),
+      traceEvict_(StatRegistry::joinPath(prefix, "evict")),
+      stats_(*reg_, prefix)
 {
     lva_assert(config.blockBytes > 0 &&
                std::has_single_bit(config.blockBytes),
@@ -95,6 +126,7 @@ Cache::insert(Addr addr, bool is_write)
     if (victim->tag != invalidAddr) {
         evicted = victim->tag;
         stats_.evictions.inc();
+        reg_->trace(traceEvict_, static_cast<double>(evicted));
         if (victim->dirty)
             stats_.writebacks.inc();
     }

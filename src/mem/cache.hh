@@ -14,8 +14,11 @@
 #ifndef LVA_MEM_CACHE_HH
 #define LVA_MEM_CACHE_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -37,14 +40,20 @@ struct CacheConfig
     static CacheConfig fullSystemL1() { return {16 * 1024, 8, 64}; }
 };
 
-/** Event counts for one cache instance. */
+/**
+ * Event counts for one cache instance, registry-backed: the counters
+ * live in a StatRegistry under "<prefix>.hits" etc. and this struct
+ * holds references for the hot path.
+ */
 struct CacheStats
 {
-    Counter hits;      ///< accesses that found the block resident
-    Counter misses;    ///< accesses that did not
-    Counter fetches;   ///< blocks actually brought in (insert())
-    Counter evictions; ///< blocks displaced by fetches
-    Counter writebacks;///< dirty blocks displaced or invalidated
+    CacheStats(StatRegistry &reg, const std::string &prefix);
+
+    Counter &hits;      ///< accesses that found the block resident
+    Counter &misses;    ///< accesses that did not
+    Counter &fetches;   ///< blocks actually brought in (insert())
+    Counter &evictions; ///< blocks displaced by fetches
+    Counter &writebacks;///< dirty blocks displaced or invalidated
 
     void
     reset()
@@ -63,7 +72,12 @@ struct CacheStats
 class Cache
 {
   public:
+    /** Standalone cache with a private registry (paths "l1.*"). */
     explicit Cache(const CacheConfig &config);
+
+    /** Cache whose stats register in @p reg under @p prefix. */
+    Cache(const CacheConfig &config, StatRegistry &reg,
+          const std::string &prefix);
 
     const CacheConfig &config() const { return config_; }
 
@@ -133,6 +147,9 @@ class Cache
         std::vector<Way> ways;
     };
 
+    Cache(const CacheConfig &config, StatRegistry *reg,
+          const std::string &prefix);
+
     Set &setFor(Addr addr);
     const Set &setFor(Addr addr) const;
 
@@ -142,6 +159,9 @@ class Cache
     u64 setMask_;
     std::vector<Set> sets_;
     u64 useClock_ = 0;
+    std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
+    StatRegistry *reg_;
+    std::string traceEvict_; ///< precomputed tracer path
     CacheStats stats_;
 };
 

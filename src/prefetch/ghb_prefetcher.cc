@@ -5,9 +5,39 @@
 
 namespace lva {
 
+PrefetcherStats::PrefetcherStats(StatRegistry &reg,
+                                 const std::string &prefix)
+    : misses(reg.counter(StatRegistry::joinPath(prefix, "misses"),
+                         "training misses observed")),
+      issued(reg.counter(StatRegistry::joinPath(prefix, "issued"),
+                         "prefetch addresses produced")),
+      deltaPredicts(reg.counter(
+          StatRegistry::joinPath(prefix, "deltaPredicts"),
+          "predictions from delta correlation")),
+      nextLine(reg.counter(StatRegistry::joinPath(prefix, "nextLine"),
+                           "predictions from the next-line fallback"))
+{
+}
+
 GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherConfig &config)
+    : GhbPrefetcher(config, nullptr, "prefetch")
+{
+}
+
+GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherConfig &config,
+                             StatRegistry &reg, const std::string &prefix)
+    : GhbPrefetcher(config, &reg, prefix)
+{
+}
+
+GhbPrefetcher::GhbPrefetcher(const GhbPrefetcherConfig &config,
+                             StatRegistry *reg, const std::string &prefix)
     : config_(config), ghb_(config.ghbEntries),
-      index_(config.indexEntries)
+      index_(config.indexEntries),
+      ownedReg_(reg == nullptr ? std::make_unique<StatRegistry>()
+                               : nullptr),
+      reg_(reg != nullptr ? reg : ownedReg_.get()),
+      stats_(*reg_, prefix)
 {
     lva_assert(config.ghbEntries > 0 && config.indexEntries > 0,
                "prefetcher tables must have entries");

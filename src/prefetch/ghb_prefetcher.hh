@@ -9,8 +9,11 @@
 #ifndef LVA_PREFETCH_GHB_PREFETCHER_HH
 #define LVA_PREFETCH_GHB_PREFETCHER_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -26,13 +29,15 @@ struct GhbPrefetcherConfig
     u32 maxChainWalk = 64;   ///< history depth examined per prediction
 };
 
-/** Event counts for the prefetcher. */
+/** Event counts for the prefetcher (registry-backed). */
 struct PrefetcherStats
 {
-    Counter misses;        ///< training misses observed
-    Counter issued;        ///< prefetch addresses produced
-    Counter deltaPredicts; ///< predictions from delta correlation
-    Counter nextLine;      ///< predictions from the next-line fallback
+    PrefetcherStats(StatRegistry &reg, const std::string &prefix);
+
+    Counter &misses;        ///< training misses observed
+    Counter &issued;        ///< prefetch addresses produced
+    Counter &deltaPredicts; ///< predictions from delta correlation
+    Counter &nextLine;      ///< predictions from the next-line fallback
 
     void
     reset()
@@ -58,7 +63,12 @@ struct PrefetcherStats
 class GhbPrefetcher
 {
   public:
+    /** Standalone prefetcher with a private registry ("prefetch.*"). */
     explicit GhbPrefetcher(const GhbPrefetcherConfig &config);
+
+    /** Prefetcher whose stats register in @p reg under @p prefix. */
+    GhbPrefetcher(const GhbPrefetcherConfig &config, StatRegistry &reg,
+                  const std::string &prefix);
 
     const GhbPrefetcherConfig &config() const { return config_; }
 
@@ -93,10 +103,15 @@ class GhbPrefetcher
         return seq != 0 && seq + config_.ghbEntries >= nextSeq_;
     }
 
+    GhbPrefetcher(const GhbPrefetcherConfig &config, StatRegistry *reg,
+                  const std::string &prefix);
+
     GhbPrefetcherConfig config_;
     std::vector<GhbEntry> ghb_;
     std::vector<IndexEntry> index_;
     u64 nextSeq_ = 1;
+    std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
+    StatRegistry *reg_;
     PrefetcherStats stats_;
 };
 

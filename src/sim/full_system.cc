@@ -6,14 +6,28 @@
 
 namespace lva {
 
-/** Per-core replay context. */
+/** Per-core replay context; stats live under "core<N>.*". */
 struct FullSystemSim::CoreCtx
 {
-    CoreCtx(const FullSystemConfig &config)
-        : core(config.core), l1(config.l1)
+    CoreCtx(const FullSystemConfig &config, StatRegistry &reg,
+            const std::string &prefix)
+        : core(config.core), l1(config.l1, reg, prefix + ".l1"),
+          demandMisses(reg.counter(prefix + ".demandMisses",
+                                   "misses the core had to wait for")),
+          approxMisses(reg.counter(prefix + ".approxMisses",
+                                   "misses hidden by approximation")),
+          l1Misses(reg.counter(prefix + ".loadMisses",
+                               "raw L1 load misses")),
+          fetchesSkipped(reg.counter(
+              prefix + ".fetchesSkipped",
+              "block fetches cancelled by the degree counter")),
+          missLatency(reg.histogram(
+              prefix + ".missLatency", 0.0, 400.0, 20,
+              "effective L1 miss latency seen by the core", "cycles"))
     {
         if (config.lvaEnabled)
-            lva = std::make_unique<LoadValueApproximator>(config.approx);
+            lva = std::make_unique<LoadValueApproximator>(
+                config.approx, reg, prefix + ".lva");
     }
 
     OoOCore core;
@@ -21,10 +35,11 @@ struct FullSystemSim::CoreCtx
     std::unique_ptr<LoadValueApproximator> lva;
     std::size_t cursor = 0;          ///< next trace event
     const ThreadTrace *trace = nullptr;
-    u64 demandMisses = 0;
-    u64 approxMisses = 0;
-    u64 l1Misses = 0;
-    u64 fetchesSkipped = 0;
+    Counter &demandMisses;
+    Counter &approxMisses;
+    Counter &l1Misses;
+    Counter &fetchesSkipped;
+    Histogram &missLatency;
 
     /** Remaining instructions of the current event's instrBefore
      *  batch; large batches are executed in scheduler-quantum chunks
@@ -58,25 +73,58 @@ struct FullSystemSim::CoreCtx
     }
 };
 
+FullSystemSim::SysGauges::SysGauges(StatRegistry &reg)
+    : cycles(reg.gauge("system.cycles",
+                       "makespan over all cores", "cycles")),
+      instructions(reg.gauge("system.instructions",
+                             "instructions retired", "insts")),
+      ipc(reg.gauge("system.ipc",
+                    "aggregate instructions per cycle", "insts/cycle")),
+      avgL1MissLatency(reg.gauge(
+          "system.avgL1MissLatency",
+          "average effective L1 miss latency", "cycles")),
+      nocQueueWait(reg.gauge("system.nocQueueWait",
+                             "total NoC link queueing", "cycles")),
+      memQueueWait(reg.gauge("system.memQueueWait",
+                             "total DRAM-port queueing", "cycles")),
+      bankQueueWait(reg.gauge("system.bankQueueWait",
+                              "total L2-bank-port queueing", "cycles")),
+      energyL1(reg.gauge("energy.l1", "L1 dynamic energy", "nJ")),
+      energyL2(reg.gauge("energy.l2", "L2 dynamic energy", "nJ")),
+      energyDram(reg.gauge("energy.dram", "DRAM dynamic energy", "nJ")),
+      energyNoc(reg.gauge("energy.noc", "NoC dynamic energy", "nJ")),
+      energyApprox(reg.gauge("energy.approximator",
+                             "approximator table energy", "nJ")),
+      energyTotal(reg.gauge("energy.total",
+                            "total dynamic energy", "nJ"))
+{
+}
+
 FullSystemSim::FullSystemSim(const FullSystemConfig &config)
     : config_(config),
       bankPorts_(config.l2Banks, SlottedResource(8.0, 8.0)),
       memPorts_(config.l2Banks,
                 SlottedResource(4.0 * config.memOccupancy,
-                                4.0 * config.memOccupancy))
+                                4.0 * config.memOccupancy)),
+      events_(registry_, "energy.events"),
+      gauges_(registry_),
+      l2Fetches_(registry_.counter("l2.fetches",
+                                   "blocks L2 pulled from memory"))
 {
     lva_assert(config.cores == config.mesh.nodes(),
                "one core per mesh node expected");
     lva_assert(config.l2Banks == config.mesh.nodes(),
                "one L2 bank per mesh node expected");
     for (u32 c = 0; c < config.cores; ++c)
-        cores_.push_back(std::make_unique<CoreCtx>(config));
+        cores_.push_back(std::make_unique<CoreCtx>(
+            config, registry_, "core" + std::to_string(c)));
     // Distributed L2: one physically separate bank per mesh node,
     // each caching its address-interleaved slice.
     CacheConfig bank_cfg = config.l2;
     bank_cfg.sizeBytes = config.l2.sizeBytes / config.l2Banks;
     for (u32 b = 0; b < config.l2Banks; ++b)
-        l2Bank_.push_back(std::make_unique<Cache>(bank_cfg));
+        l2Bank_.push_back(std::make_unique<Cache>(
+            bank_cfg, registry_, "l2.bank" + std::to_string(b)));
     mesh_ = std::make_unique<Mesh>(config.mesh);
     if (config.heteroNoc)
         slowMesh_ = std::make_unique<Mesh>(config.slowMesh);
@@ -92,7 +140,7 @@ FullSystemSim::evictFromL1(u32 core, Addr block, double now)
     const Directory::Entry *entry = directory_.find(block);
     if (entry != nullptr && entry->owner == core && entry->dirty) {
         mesh_->deliver(core, bankOf(block), MessageBytes::data, now);
-        events_.l2Accesses += 1; // writeback into the L2 bank
+        events_.l2Accesses.inc(); // writeback into the L2 bank
         l2Bank_[bankOf(block)]->insert(bankLocalAddr(block), true);
     }
     directory_.removeSharer(block, core);
@@ -119,7 +167,7 @@ FullSystemSim::fetchBlock(u32 core, Addr block, bool is_write,
         bankPorts_[bank].acquire(t, config_.l2Occupancy);
     bankQueueWait_ += start - t;
     t = start + config_.l2Latency;
-    events_.l2Accesses += 1;
+    events_.l2Accesses.inc();
 
     const Directory::Entry *entry = directory_.find(block);
 
@@ -147,12 +195,12 @@ FullSystemSim::fetchBlock(u32 core, Addr block, bool is_write,
         double fwd =
             net.deliver(bank, owner, MessageBytes::control, t);
         fwd += config_.l1Latency;
-        events_.l1Accesses += 1; // owner L1 read-out
+        events_.l1Accesses.inc(); // owner L1 read-out
         directory_.stats().forwards.inc();
         directory_.downgrade(block);
         if (was_dirty) {
             net.deliver(owner, bank, MessageBytes::data, fwd);
-            events_.l2Accesses += 1;
+            events_.l2Accesses.inc();
         }
         const double arrive =
             net.deliver(owner, core, MessageBytes::data, fwd);
@@ -174,9 +222,9 @@ FullSystemSim::fetchBlock(u32 core, Addr block, bool is_write,
             memPorts_[bank].acquire(t, config_.memOccupancy);
         memQueueWait_ += mem_start - t;
         t = mem_start + config_.memLatency;
-        events_.dramAccesses += 1;
+        events_.dramAccesses.inc();
         const Addr local_victim = l2.insert(local);
-        ++l2Fetches_;
+        l2Fetches_.inc();
         if (local_victim != invalidAddr) {
             // Inclusive L2: recall the victim from any L1 holding it.
             const Addr l2_victim = globalAddr(local_victim, bank);
@@ -269,7 +317,7 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
             next->core.advanceTo(next->lastLoadReady);
 
         const Addr block = next->l1.blockAlign(ev.addr);
-        events_.l1Accesses += 1;
+        events_.l1Accesses.inc();
 
         if (ev.isLoad) {
             const bool hit = next->l1.access(ev.addr, false);
@@ -284,37 +332,41 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
                     next->core.now() + config_.l1Latency;
                 continue;
             }
-            ++next->l1Misses;
+            next->l1Misses.inc();
 
             if (ev.approximable && next->lva) {
                 const MissResponse resp =
                     next->lva->onMiss(ev.pc, ev.value);
-                events_.approxLookups += 1;
+                events_.approxLookups.inc();
                 if (resp.fetch) {
                     if (resp.approximated)
                         next->reserveBackgroundSlot();
+                    const double issue = next->core.now();
                     const double done = fetchBlock(
-                        next_id, block, false, next->core.now(),
+                        next_id, block, false, issue,
                         /*background=*/resp.approximated);
-                    events_.approxTrains += 1;
+                    events_.approxTrains.inc();
                     if (resp.approximated) {
                         // Training fetch off the critical path,
                         // possibly over the deprioritized path.
                         next->background.push_back(
                             done + config_.backgroundFetchExtraLatency);
-                        ++next->approxMisses;
+                        next->approxMisses.inc();
+                        next->missLatency.sample(1.0);
                         next->core.loadHit(); // miss hidden
                         next->lastLoadReady =
                             next->core.now() + config_.l1Latency;
                     } else {
-                        ++next->demandMisses;
+                        next->demandMisses.inc();
+                        next->missLatency.sample(done - issue);
                         next->core.demandMiss(done);
                         next->lastLoadReady = done;
                     }
                 } else {
                     // Fetch cancelled outright (approximation degree).
-                    ++next->approxMisses;
-                    ++next->fetchesSkipped;
+                    next->approxMisses.inc();
+                    next->fetchesSkipped.inc();
+                    next->missLatency.sample(1.0);
                     next->core.loadHit();
                     next->lastLoadReady =
                         next->core.now() + config_.l1Latency;
@@ -322,9 +374,10 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
                 continue;
             }
 
-            const double done =
-                fetchBlock(next_id, block, false, next->core.now());
-            ++next->demandMisses;
+            const double issue = next->core.now();
+            const double done = fetchBlock(next_id, block, false, issue);
+            next->demandMisses.inc();
+            next->missLatency.sample(done - issue);
             next->core.demandMiss(done);
             next->lastLoadReady = done;
         } else {
@@ -380,13 +433,15 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
         ctx->core.drainAll();
         makespan = std::max(makespan, ctx->core.now());
         result.instructions += ctx->core.instructionsRetired();
-        result.l1Misses += ctx->l1Misses;
-        result.demandMisses += ctx->demandMisses;
-        result.approxMisses += ctx->approxMisses;
-        result.fetchesSkipped += ctx->fetchesSkipped;
-        miss_latency_sum += ctx->core.missLatencySum() +
-                            1.0 * static_cast<double>(ctx->approxMisses);
-        miss_count += ctx->demandMisses + ctx->approxMisses;
+        result.l1Misses += ctx->l1Misses.value();
+        result.demandMisses += ctx->demandMisses.value();
+        result.approxMisses += ctx->approxMisses.value();
+        result.fetchesSkipped += ctx->fetchesSkipped.value();
+        miss_latency_sum +=
+            ctx->core.missLatencySum() +
+            1.0 * static_cast<double>(ctx->approxMisses.value());
+        miss_count +=
+            ctx->demandMisses.value() + ctx->approxMisses.value();
     }
     result.cycles = makespan;
     result.ipc = makespan > 0.0
@@ -396,9 +451,9 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
         miss_count > 0
             ? miss_latency_sum / static_cast<double>(miss_count)
             : 0.0;
-    result.l2Accesses = events_.l2Accesses;
-    result.l2Fetches = l2Fetches_;
-    result.dramAccesses = events_.dramAccesses;
+    result.l2Accesses = events_.l2Accesses.value();
+    result.l2Fetches = l2Fetches_.value();
+    result.dramAccesses = events_.dramAccesses.value();
     const u64 slow_hops =
         slowMesh_ ? slowMesh_->stats().flitHops.value() : 0;
     result.flitHops = mesh_->stats().flitHops.value() + slow_hops;
@@ -407,10 +462,27 @@ FullSystemSim::run(const std::vector<ThreadTrace> &traces)
         (slowMesh_ ? slowMesh_->stats().queueWait : 0.0);
     result.memQueueWait = memQueueWait_;
     result.bankQueueWait = bankQueueWait_;
-    events_.nocFlitHops = mesh_->stats().flitHops.value();
-    events_.nocFlitHopsSlow = slow_hops;
-    result.events = events_;
-    result.energy = computeEnergy(events_, config_.energy);
+    // The mesh keeps its own counters; fold the final hop totals into
+    // the energy-event registry entries (run() executes once).
+    events_.nocFlitHops.inc(mesh_->stats().flitHops.value());
+    events_.nocFlitHopsSlow.inc(slow_hops);
+    result.events = events_.value();
+    result.energy = computeEnergy(result.events, config_.energy);
+
+    gauges_.cycles.set(result.cycles);
+    gauges_.instructions.set(static_cast<double>(result.instructions));
+    gauges_.ipc.set(result.ipc);
+    gauges_.avgL1MissLatency.set(result.avgL1MissLatency);
+    gauges_.nocQueueWait.set(result.nocQueueWait);
+    gauges_.memQueueWait.set(result.memQueueWait);
+    gauges_.bankQueueWait.set(result.bankQueueWait);
+    gauges_.energyL1.set(result.energy.l1);
+    gauges_.energyL2.set(result.energy.l2);
+    gauges_.energyDram.set(result.energy.dram);
+    gauges_.energyNoc.set(result.energy.noc);
+    gauges_.energyApprox.set(result.energy.approximator);
+    gauges_.energyTotal.set(result.energy.total());
+    result.stats = registry_.snapshot();
     return result;
 }
 

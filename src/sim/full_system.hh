@@ -25,6 +25,7 @@
 #include "sim/config.hh"
 #include "sim/directory.hh"
 #include "util/slotted_resource.hh"
+#include "util/stat_registry.hh"
 
 namespace lva {
 
@@ -57,6 +58,9 @@ struct FullSystemResult
     EnergyEvents events{};
     EnergyBreakdown energy{};
 
+    /** Full registry snapshot taken at the end of run(). */
+    StatSnapshot stats{};
+
     /** L1-miss energy-delay product (paper Figure 11): the energy
      *  spent servicing L1 misses times the average effective miss
      *  latency. */
@@ -79,8 +83,34 @@ class FullSystemSim
     /** Replay @p traces (one per core) to completion. */
     FullSystemResult run(const std::vector<ThreadTrace> &traces);
 
+    /**
+     * The simulation's stat registry: "core<N>.*", "l2.bank<N>.*",
+     * "energy.*" and "system.*". Gauges are populated by run().
+     */
+    const StatRegistry &registry() const { return registry_; }
+
   private:
     struct CoreCtx;
+
+    /** End-of-run derived values, registered at construction. */
+    struct SysGauges
+    {
+        SysGauges(StatRegistry &reg);
+
+        Gauge &cycles;
+        Gauge &instructions;
+        Gauge &ipc;
+        Gauge &avgL1MissLatency;
+        Gauge &nocQueueWait;
+        Gauge &memQueueWait;
+        Gauge &bankQueueWait;
+        Gauge &energyL1;
+        Gauge &energyL2;
+        Gauge &energyDram;
+        Gauge &energyNoc;
+        Gauge &energyApprox;
+        Gauge &energyTotal;
+    };
 
     /**
      * Service an L1 fill for @p core: the full GetS/GetM round trip.
@@ -126,6 +156,7 @@ class FullSystemSim
     }
 
     FullSystemConfig config_;
+    StatRegistry registry_; ///< declared before every stats holder
     std::vector<std::unique_ptr<CoreCtx>> cores_;
     std::vector<std::unique_ptr<Cache>> l2Bank_;
     std::unique_ptr<Mesh> mesh_;
@@ -133,8 +164,9 @@ class FullSystemSim
     Directory directory_;
     std::vector<SlottedResource> bankPorts_;
     std::vector<SlottedResource> memPorts_;
-    EnergyEvents events_;
-    u64 l2Fetches_ = 0;
+    EnergyEventCounters events_;
+    SysGauges gauges_;
+    Counter &l2Fetches_;
     double memQueueWait_ = 0.0;
     double bankQueueWait_ = 0.0;
 };

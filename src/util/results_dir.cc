@@ -1,0 +1,22 @@
+#include "util/results_dir.hh"
+
+#include <cstdlib>
+
+namespace lva {
+
+std::string
+resultsDir()
+{
+    const char *env = std::getenv("LVA_RESULTS_DIR");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return "results";
+}
+
+std::string
+resultsPath(const std::string &rel)
+{
+    return resultsDir() + "/" + rel;
+}
+
+} // namespace lva

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Results-directory resolution: every artifact writer (CSV, PGM,
+ * stats text, stats JSON) routes its path through resultsPath() so a
+ * single LVA_RESULTS_DIR override redirects a whole run — e.g. tests
+ * or CI sweeps that must not clobber checked-in results.
+ */
+
+#ifndef LVA_UTIL_RESULTS_DIR_HH
+#define LVA_UTIL_RESULTS_DIR_HH
+
+#include <string>
+
+namespace lva {
+
+/** $LVA_RESULTS_DIR when set and non-empty, else "results". */
+std::string resultsDir();
+
+/** @p rel anchored under resultsDir(), e.g. "stats/fig4.json". */
+std::string resultsPath(const std::string &rel);
+
+} // namespace lva
+
+#endif // LVA_UTIL_RESULTS_DIR_HH

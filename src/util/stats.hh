@@ -30,6 +30,19 @@ class Counter
     u64 value_ = 0;
 };
 
+/** Point-in-time value (occupancy, derived metric set at end of run). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    void add(double v) { value_ += v; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
 /** Running mean / variance accumulator (Welford). */
 class RunningStat
 {
@@ -111,6 +124,15 @@ class Histogram
     u64 overflow() const { return counts_.back(); }
     std::size_t buckets() const { return counts_.size() - 2; }
     u64 bucketCount(std::size_t i) const { return counts_.at(i + 1); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    void
+    reset()
+    {
+        total_ = 0;
+        std::fill(counts_.begin(), counts_.end(), u64(0));
+    }
 
   private:
     double lo_;

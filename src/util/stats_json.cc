@@ -1,0 +1,113 @@
+#include "util/stats_json.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lva {
+
+const char *
+statsJsonSchema()
+{
+    return "lva-stats-v1";
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace {
+
+std::string
+u64Json(u64 v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+snapshotToJson(const StatSnapshot &snap, int indent)
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string pad1 = pad + "  ";
+    std::string out = "{";
+    bool first = true;
+    for (const SnapEntry &e : snap.entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += pad1 + jsonQuote(e.path) + ": {\"type\": \"" +
+               statTypeName(e.type) + "\"";
+        if (!e.unit.empty())
+            out += ", \"unit\": " + jsonQuote(e.unit);
+        switch (e.type) {
+          case StatType::Counter:
+            out += ", \"value\": " + u64Json(e.count);
+            break;
+          case StatType::Gauge:
+            out += ", \"value\": " + jsonDouble(e.gauge);
+            break;
+          case StatType::Histogram: {
+            out += ", \"lo\": " + jsonDouble(e.histLo) +
+                   ", \"hi\": " + jsonDouble(e.histHi) +
+                   ", \"total\": " + u64Json(e.histTotal) +
+                   ", \"underflow\": " + u64Json(e.histUnderflow) +
+                   ", \"overflow\": " + u64Json(e.histOverflow) +
+                   ", \"buckets\": [";
+            for (std::size_t b = 0; b < e.histBuckets.size(); ++b) {
+                if (b > 0)
+                    out += ", ";
+                out += u64Json(e.histBuckets[b]);
+            }
+            out += "]";
+            break;
+          }
+        }
+        out += "}";
+    }
+    out += first ? "}" : "\n" + pad + "}";
+    return out;
+}
+
+} // namespace lva

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Deterministic JSON rendering of stat snapshots — the byte layer
+ * under the versioned results/stats export (schema in docs/metrics.md).
+ *
+ * Output bytes depend only on the snapshot contents: entries are
+ * path-sorted, integers print as integers, and doubles print with
+ * "%.17g" (round-trip exact), so a parallel sweep serializes
+ * identically to a serial one.
+ */
+
+#ifndef LVA_UTIL_STATS_JSON_HH
+#define LVA_UTIL_STATS_JSON_HH
+
+#include <string>
+
+#include "util/stat_registry.hh"
+
+namespace lva {
+
+/** The current export schema version tag. */
+const char *statsJsonSchema();
+
+/** JSON string literal (quotes + escapes applied). */
+std::string jsonQuote(const std::string &s);
+
+/** Shortest round-trip-exact rendering of a double. */
+std::string jsonDouble(double v);
+
+/**
+ * Render @p snap as a JSON object mapping each path to its typed
+ * entry, indented by @p indent spaces per level.
+ */
+std::string snapshotToJson(const StatSnapshot &snap, int indent = 4);
+
+} // namespace lva
+
+#endif // LVA_UTIL_STATS_JSON_HH

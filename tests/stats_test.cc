@@ -1,12 +1,14 @@
 /**
  * @file
- * Unit tests for the statistics utilities.
+ * Unit tests for the statistics utilities and the stat registry.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "util/stat_registry.hh"
 #include "util/stats.hh"
 
 namespace lva {
@@ -105,6 +107,178 @@ TEST(Geomean, KnownValues)
 TEST(Geomean, SingleValue)
 {
     EXPECT_NEAR(geomean({7.0}), 7.0, 1e-12);
+}
+
+TEST(Gauge, SetAddReset)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(2.5);
+    g.add(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(StatRegistry, RegisterOrGetReturnsSameObject)
+{
+    StatRegistry reg(0);
+    Counter &a = reg.counter("l1.misses", "desc");
+    Counter &b = reg.counter("l1.misses");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+
+    Histogram &h1 = reg.histogram("lat", 0.0, 10.0, 5);
+    Histogram &h2 = reg.histogram("lat", 0.0, 10.0, 5);
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(StatRegistry, TypeCollisionThrows)
+{
+    StatRegistry reg(0);
+    reg.counter("x.count");
+    EXPECT_THROW(reg.gauge("x.count"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("x.count", 0.0, 1.0, 4),
+                 std::invalid_argument);
+}
+
+TEST(StatRegistry, HistogramGeometryCollisionThrows)
+{
+    StatRegistry reg(0);
+    reg.histogram("lat", 0.0, 10.0, 5);
+    EXPECT_THROW(reg.histogram("lat", 0.0, 20.0, 5),
+                 std::invalid_argument);
+    EXPECT_THROW(reg.histogram("lat", 0.0, 10.0, 8),
+                 std::invalid_argument);
+}
+
+TEST(StatRegistry, MalformedPathThrows)
+{
+    StatRegistry reg(0);
+    EXPECT_THROW(reg.counter(""), std::invalid_argument);
+    EXPECT_THROW(reg.counter(".leading"), std::invalid_argument);
+    EXPECT_THROW(reg.counter("trailing."), std::invalid_argument);
+    EXPECT_THROW(reg.counter("a..b"), std::invalid_argument);
+    EXPECT_THROW(reg.counter("bad path"), std::invalid_argument);
+}
+
+TEST(StatRegistry, SnapshotIsSortedByPath)
+{
+    StatRegistry reg(0);
+    reg.counter("z.last");
+    reg.counter("a.first");
+    reg.gauge("m.middle");
+    const StatSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 3u);
+    EXPECT_EQ(snap.entries[0].path, "a.first");
+    EXPECT_EQ(snap.entries[1].path, "m.middle");
+    EXPECT_EQ(snap.entries[2].path, "z.last");
+}
+
+TEST(StatSnapshot, MergeSumsCountersAndHistograms)
+{
+    StatRegistry r1(0), r2(0);
+    r1.counter("c").inc(10);
+    r2.counter("c").inc(32);
+    r1.histogram("h", 0.0, 10.0, 5).sample(1.0);
+    r2.histogram("h", 0.0, 10.0, 5).sample(1.5);
+    r2.histogram("h", 0.0, 10.0, 5).sample(99.0); // overflow
+    r1.gauge("g").set(1.0);
+    r2.gauge("g").set(7.0);
+    r2.counter("only2").inc(5);
+
+    StatSnapshot merged = r1.snapshot();
+    merged.merge(r2.snapshot());
+
+    EXPECT_EQ(merged.find("c")->count, 42u);
+    EXPECT_EQ(merged.find("h")->histTotal, 3u);
+    EXPECT_EQ(merged.find("h")->histBuckets[0], 2u);
+    EXPECT_EQ(merged.find("h")->histOverflow, 1u);
+    // Gauges: last-merged value wins.
+    EXPECT_DOUBLE_EQ(merged.find("g")->gauge, 7.0);
+    // Paths present only on one side carry over, order stays sorted.
+    EXPECT_EQ(merged.find("only2")->count, 5u);
+    for (std::size_t i = 1; i < merged.entries.size(); ++i)
+        EXPECT_LT(merged.entries[i - 1].path, merged.entries[i].path);
+}
+
+TEST(StatSnapshot, MergeIsDeterministicOverSeedOrder)
+{
+    // Simulates the evaluator's per-seed serial merge: merging the
+    // same per-seed snapshots in the same order twice must produce
+    // identical entries, whatever thread produced them.
+    auto makeSeedSnap = [](u64 seed) {
+        StatRegistry reg(0);
+        reg.counter("thread0.mem.loads").inc(100 + seed);
+        reg.gauge("eval.x").set(static_cast<double>(seed) * 0.5);
+        reg.histogram("lat", 0.0, 4.0, 4)
+            .sample(static_cast<double>(seed % 4));
+        return reg.snapshot();
+    };
+    StatSnapshot a, b;
+    for (u64 seed = 1; seed <= 5; ++seed)
+        a.merge(makeSeedSnap(seed));
+    for (u64 seed = 1; seed <= 5; ++seed)
+        b.merge(makeSeedSnap(seed));
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_EQ(a.entries[i].path, b.entries[i].path);
+        EXPECT_EQ(a.entries[i].count, b.entries[i].count);
+        EXPECT_EQ(a.entries[i].gauge, b.entries[i].gauge);
+        EXPECT_EQ(a.entries[i].histBuckets, b.entries[i].histBuckets);
+    }
+}
+
+TEST(StatSnapshot, MergeTypeConflictThrows)
+{
+    StatRegistry r1(0), r2(0);
+    r1.counter("p");
+    r2.gauge("p");
+    StatSnapshot snap = r1.snapshot();
+    EXPECT_THROW(snap.merge(r2.snapshot()), std::invalid_argument);
+
+    StatRegistry r3(0), r4(0);
+    r3.histogram("h", 0.0, 1.0, 4);
+    r4.histogram("h", 0.0, 2.0, 4);
+    StatSnapshot hs = r3.snapshot();
+    EXPECT_THROW(hs.merge(r4.snapshot()), std::invalid_argument);
+}
+
+TEST(EventTracer, DisabledRecordsNothing)
+{
+    EventTracer t(0);
+    EXPECT_FALSE(t.enabled());
+    t.record("x", 1.0);
+    EXPECT_EQ(t.recorded(), 0u);
+    EXPECT_TRUE(t.drain().empty());
+}
+
+TEST(EventTracer, RingWrapKeepsNewestOldestFirst)
+{
+    EventTracer t(4);
+    for (int i = 0; i < 10; ++i)
+        t.record("e", static_cast<double>(i));
+    EXPECT_EQ(t.recorded(), 10u);
+    const auto events = t.drain();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(events[i].value, 6.0 + static_cast<double>(i));
+        EXPECT_EQ(events[i].seq, 6u + i);
+    }
+    // drain() clears the ring.
+    EXPECT_TRUE(t.drain().empty());
+}
+
+TEST(StatRegistry, TraceRoutesThroughRegistryTracer)
+{
+    StatRegistry reg(8);
+    reg.trace("lva.approx", 3.25);
+    const auto events = reg.tracer().drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].path, "lva.approx");
+    EXPECT_DOUBLE_EQ(events[0].value, 3.25);
 }
 
 } // namespace

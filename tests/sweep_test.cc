@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "eval/sweep.hh"
@@ -15,7 +19,7 @@
 namespace lva {
 namespace {
 
-/** Every EvalResult field, bit-for-bit. */
+/** Every EvalResult field, bit-for-bit — stats snapshot included. */
 void
 expectIdentical(const EvalResult &a, const EvalResult &b)
 {
@@ -29,6 +33,15 @@ expectIdentical(const EvalResult &a, const EvalResult &b)
     EXPECT_EQ(a.coverage, b.coverage);
     EXPECT_EQ(a.instrVariation, b.instrVariation);
     EXPECT_EQ(a.instructions, b.instructions);
+    ASSERT_EQ(a.stats.entries.size(), b.stats.entries.size());
+    for (std::size_t i = 0; i < a.stats.entries.size(); ++i) {
+        const SnapEntry &ea = a.stats.entries[i];
+        const SnapEntry &eb = b.stats.entries[i];
+        EXPECT_EQ(ea.path, eb.path);
+        EXPECT_EQ(ea.count, eb.count);
+        EXPECT_EQ(ea.gauge, eb.gauge);
+        EXPECT_EQ(ea.histBuckets, eb.histBuckets);
+    }
 }
 
 std::vector<SweepPoint>
@@ -107,6 +120,48 @@ TEST(SweepRunner, SerialRunnerUsesNoPool)
         runner.run({{"precise", "x264", Evaluator::preciseConfig()}});
     ASSERT_EQ(out.size(), 1u);
     EXPECT_NEAR(out[0].normMpki, 1.0, 1e-9);
+}
+
+TEST(SweepRunner, StatsJsonExportIsJobCountInvariant)
+{
+    // The acceptance bar for the registry refactor: the versioned
+    // JSON export must be byte-identical between the serial path and
+    // a 4-worker pool.
+    namespace fs = std::filesystem;
+    std::vector<SweepPoint> points;
+    for (const auto &name : {"canneal", "x264"}) {
+        points.push_back({"lva", name, Evaluator::baselineLva()});
+        ApproxMemory::Config deg4 = Evaluator::baselineLva();
+        deg4.approx.approxDegree = 4;
+        points.push_back({"deg4", name, deg4});
+    }
+
+    auto runAndExport = [&](unsigned jobs, const fs::path &dir) {
+        fs::remove_all(dir);
+        setenv("LVA_RESULTS_DIR", dir.c_str(), 1);
+        Evaluator eval(2, 0.05);
+        SweepRunner runner(eval, jobs);
+        const std::vector<EvalResult> results = runner.run(points);
+        const std::string written =
+            exportSweepStats("sweep_json_test", points, results);
+        unsetenv("LVA_RESULTS_DIR");
+        std::ifstream in(written);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+
+    const fs::path base = fs::temp_directory_path();
+    const std::string serial =
+        runAndExport(1, base / "lva_sweep_json_serial");
+    const std::string parallel =
+        runAndExport(4, base / "lva_sweep_json_parallel");
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+
+    fs::remove_all(base / "lva_sweep_json_serial");
+    fs::remove_all(base / "lva_sweep_json_parallel");
 }
 
 TEST(SweepRunner, MapExceptionPropagates)

@@ -184,12 +184,16 @@ main(int argc, char **argv)
 
     for (std::size_t i = 0; i < names.size(); ++i) {
         const EvalResult &r = results[i];
-        table.addRow({names[i], fmtDouble(r.mpki, 3),
-                      fmtDouble(r.normMpki, 3),
-                      fmtDouble(r.normFetches, 3),
-                      fmtPercent(r.coverage, 1),
-                      fmtPercent(r.outputError, 1)});
+        table.addRow(
+            {names[i], fmtDouble(r.stats.valueOf("eval.mpki"), 3),
+             fmtDouble(r.stats.valueOf("eval.normMpki"), 3),
+             fmtDouble(r.stats.valueOf("eval.normFetches"), 3),
+             fmtPercent(r.stats.valueOf("eval.coverage"), 1),
+             fmtPercent(r.stats.valueOf("eval.outputError"), 1)});
     }
     table.print("results");
+    std::printf("wrote %s\n",
+                exportSweepStats("lva_explore", points, results)
+                    .c_str());
     return 0;
 }
