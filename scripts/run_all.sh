@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build, test and regenerate every paper table/figure + ablation.
 # Usage: scripts/run_all.sh [quick]
-#   quick: 1 seed, 30% working sets (smoke run) + a ThreadSanitizer
-#          build of the concurrency determinism check
+#   quick: 1 seed, 30% working sets (smoke run) + the static-analysis
+#          gate (scripts/lint.sh) + the sanitizer matrix: full ctest
+#          suite under ASan+UBSan and a ThreadSanitizer build of the
+#          concurrency determinism check
 #
 # Parallelism: every bench driver fans its sweep grid out over
 # LVA_JOBS worker threads (default: hardware concurrency). LVA_JOBS=1
@@ -29,6 +31,18 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 if [[ "$MODE" == "quick" ]]; then
+    # Static-analysis gate: lva_lint determinism rules (+ clang-tidy
+    # where installed).  Fails the run on any unsuppressed finding,
+    # mirroring the check_docs.sh gate below.
+    scripts/lint.sh
+
+    # Sanitizer matrix (DESIGN.md §12).  ASan and UBSan compose in one
+    # tree and the entire ctest suite runs under both, so heap misuse
+    # or UB anywhere in the simulator fails the smoke run.
+    cmake -B build-asan -G Ninja -DLVA_ASAN=ON -DLVA_UBSAN=ON
+    cmake --build build-asan
+    ctest --test-dir build-asan --output-on-failure
+
     # ThreadSanitizer configuration: the gtest-free determinism check
     # is fully instrumented, so races in the thread pool or the
     # shared golden-run cache fail the run here.

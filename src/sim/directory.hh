@@ -164,6 +164,14 @@ class Directory
     std::size_t trackedBlocks() const { return entries_.size(); }
 
   private:
+    // Determinism audit (lva-lint no-unordered-iteration): hash order
+    // never escapes this map.  Every access above is a point lookup,
+    // insert or erase keyed by block address; the only aggregate view
+    // is trackedBlocks() == size(), which is order-independent.  The
+    // DirectoryStats counters that do reach exports are incremented on
+    // keyed operations, never by walking entries_.  If a future change
+    // needs to enumerate blocks (e.g. a recall sweep), snapshot the
+    // keys and sort them first.
     std::unordered_map<Addr, Entry> entries_;
     DirectoryStats stats_;
 };

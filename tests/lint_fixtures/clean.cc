@@ -1,0 +1,64 @@
+// lva-lint fixture: deterministic code that must produce no findings,
+// including the look-alikes each rule has to NOT match.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Seeded, deterministic PRNG use (mirrors util/random.hh).
+struct Rng
+{
+    uint64_t state;
+    uint64_t
+    next()
+    {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state;
+    }
+};
+
+// steady_clock for wall-time *reporting* is allowed.
+using Timer = std::chrono::steady_clock;
+
+// Ordered map with a value-type key: iteration order is deterministic.
+inline double
+sumSorted(const std::map<uint64_t, double> &sorted)
+{
+    double total = 0.0;
+    for (const auto &kv : sorted)
+        total += kv.second;
+    return total;
+}
+
+// Point lookups into an unordered map never observe hash order.
+inline double
+pointLookup(const std::unordered_map<uint64_t, double> &histo, uint64_t k)
+{
+    const auto it = histo.find(k);
+    return it == histo.end() ? 0.0 : it->second;
+}
+
+// Identifier look-alikes: operand(), strand, mytime() are not rand()
+// or time().
+inline int operand(int x) { return x; }
+inline int strand(int x) { return x; }
+inline long mytime(long t) { return t; }
+
+// static constants and static member functions are not mutable state.
+static constexpr int kWays = 8;
+static const char *kName = "clean";
+
+struct Helper
+{
+    static Helper make();
+    static int
+    twice(int x)
+    {
+        return 2 * x;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+// lva-lint fixture: mutable static/global state.  Never compiled.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+static int callCount = 0;                        // line 6: mutable
+static std::vector<int> resultCache;             // line 7: mutable
+
+int
+countingHelper()
+{
+    static uint64_t invocations = 0;             // line 12: mutable
+    return static_cast<int>(++invocations);
+}
+
+// Immutable and function declarations must NOT fire:
+static const int kLimit = 64;
+static constexpr double kScale = 0.5;
+
+struct Widget
+{
+    static Widget
+    makeDefault();
+
+    static std::string describe(const Widget &w);
+};
+
+static int helperDecl(int x);

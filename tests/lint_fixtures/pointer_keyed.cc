@@ -1,0 +1,17 @@
+// lva-lint fixture: pointer-keyed ordered containers.  Never compiled.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node
+{
+    int id;
+};
+
+std::map<Node *, int> rankByNode;                 // line 11
+std::set<const Node *> visited;                   // line 12
+std::multimap<Node *, std::string> labels;        // line 13
+
+// Value-side pointers and stable integer keys are fine:
+std::map<int, Node *> nodeById;
+std::set<long> seenIds;

@@ -1,0 +1,18 @@
+// lva-lint fixture: every banned RNG entry point.  Never compiled;
+// consumed by lint_tool_test as text.
+#include <cstdlib>
+#include <random>
+
+int
+noisySeed()
+{
+    std::srand(42);                       // line 9: no-rand
+    std::random_device entropy;           // line 10: no-rand
+    const int a = std::rand();            // line 11: no-rand
+    const int b = rand();                 // line 12: no-rand
+    return a + b + static_cast<int>(entropy());
+}
+
+// Mentions in comments or strings must NOT fire:
+// rand() srand() std::random_device
+const char *kDoc = "call rand() for chaos";

@@ -1,0 +1,33 @@
+// lva-lint fixture: every hazard class, each suppressed with the
+// rule-named allow syntax.  lint_tool_test expects ZERO findings.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+
+int
+seededElsewhere()
+{
+    std::srand(7); // lva-lint: allow(no-rand)
+    // lva-lint: allow(no-rand)
+    return std::rand();
+}
+
+// lva-lint: allow(no-wall-clock)
+static const std::time_t kBuildStamp = std::time(nullptr);
+
+// lva-lint: allow(no-pointer-keyed-ordered)
+std::map<int *, int> slotByCell;
+
+static int retryBudget = 3; // lva-lint: allow(no-mutable-global)
+
+double
+drainInHashOrder(const std::unordered_map<int, double> &stats)
+{
+    double total = 0.0;
+    // Summation is order-insensitive enough here. allow(all) form:
+    // lva-lint: allow(all)
+    for (const auto &kv : stats)
+        total += kv.second;
+    return total;
+}

@@ -1,0 +1,36 @@
+// lva-lint fixture: unordered-container iteration on an export path.
+// lint_tool_test lints this text under a virtual src/eval/ path (rule
+// fires) and a virtual src/sim/ path (rule is scoped out).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Exporter
+{
+    std::unordered_map<uint64_t, double> histogram;
+    std::unordered_set<std::string> names;
+
+    double
+    sumInHashOrder() const
+    {
+        double total = 0.0;
+        for (const auto &kv : histogram)       // line 18: iteration
+            total += kv.second;
+        return total;
+    }
+
+    auto
+    firstName() const
+    {
+        return names.begin();                  // line 26: iteration
+    }
+};
+
+// Point lookups stay legal even on export paths:
+inline double
+lookup(const Exporter &e, uint64_t key)
+{
+    const auto it = e.histogram.find(key);
+    return it == e.histogram.end() ? 0.0 : it->second;
+}

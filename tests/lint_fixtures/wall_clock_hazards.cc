@@ -1,0 +1,19 @@
+// lva-lint fixture: wall-clock reads.  Never compiled.
+#include <chrono>
+#include <ctime>
+
+long
+wallClockReads()
+{
+    const std::time_t now = std::time(nullptr);             // line 8
+    const auto sys = std::chrono::system_clock::now();      // line 9
+    const auto hr =
+        std::chrono::high_resolution_clock::now();          // line 11
+    struct tm *parts = localtime(&now);                     // line 12
+    return static_cast<long>(now) + parts->tm_sec +
+           sys.time_since_epoch().count() +
+           hr.time_since_epoch().count();
+}
+
+// steady_clock is allowed (bench reporting only):
+using ReportingClock = std::chrono::steady_clock;

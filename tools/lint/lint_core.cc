@@ -1,0 +1,441 @@
+#include "lint/lint_core.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace lva::lint {
+namespace {
+
+/**
+ * Replace comments, string literals and char literals with spaces,
+ * preserving length and newlines so byte offsets keep mapping to the
+ * same lines.  Handles //, multi-line block comments, escape sequences
+ * and R"delim(...)delim" raw strings.
+ */
+std::string
+stripCommentsAndStrings(const std::string &src)
+{
+    std::string out = src;
+    enum class State { Code, LineComment, BlockComment, Str, Char, RawStr };
+    State state = State::Code;
+    std::string rawDelim; // ")delim" terminator of the active raw string
+    const std::size_t n = src.size();
+
+    auto blank = [&](std::size_t i) {
+        if (out[i] != '\n')
+            out[i] = ' ';
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = src[i];
+        const char next = i + 1 < n ? src[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                blank(i);
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                blank(i);
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 || (!std::isalnum(
+                                       static_cast<unsigned char>(src[i - 1])) &&
+                                   src[i - 1] != '_'))) {
+                // R"delim( ... )delim"
+                std::size_t open = src.find('(', i + 2);
+                if (open != std::string::npos) {
+                    rawDelim = ")" + src.substr(i + 2, open - i - 2) + "\"";
+                    state = State::RawStr;
+                    blank(i);
+                }
+            } else if (c == '"') {
+                state = State::Str;
+                blank(i);
+            } else if (c == '\'' &&
+                       (i == 0 || (!std::isalnum(
+                                       static_cast<unsigned char>(src[i - 1])) &&
+                                   src[i - 1] != '_' && src[i - 1] != '\''))) {
+                // Char literal; the guard keeps digit separators (1'000)
+                // and nested quotes out of the literal state machine.
+                state = State::Char;
+                blank(i);
+            }
+            break;
+        case State::LineComment:
+            blank(i);
+            if (c == '\n')
+                state = State::Code;
+            break;
+        case State::BlockComment:
+            blank(i);
+            if (c == '*' && next == '/') {
+                blank(i + 1);
+                ++i;
+                state = State::Code;
+            }
+            break;
+        case State::Str:
+            blank(i);
+            if (c == '\\' && next != '\0') {
+                blank(i + 1);
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+            }
+            break;
+        case State::Char:
+            blank(i);
+            if (c == '\\' && next != '\0') {
+                blank(i + 1);
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+            }
+            break;
+        case State::RawStr:
+            blank(i);
+            if (c == rawDelim[0] && src.compare(i, rawDelim.size(),
+                                                rawDelim) == 0) {
+                for (std::size_t j = 0; j < rawDelim.size(); ++j)
+                    blank(i + j);
+                i += rawDelim.size() - 1;
+                state = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/** 1-based line number for every byte offset. */
+std::vector<int>
+buildLineTable(const std::string &src)
+{
+    std::vector<int> lineOf(src.size() + 1);
+    int line = 1;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        lineOf[i] = line;
+        if (src[i] == '\n')
+            ++line;
+    }
+    lineOf[src.size()] = line;
+    return lineOf;
+}
+
+/**
+ * Per-line suppression sets parsed from the *raw* source (the allow
+ * comments live inside comments, which the stripped text has blanked).
+ * result[line] holds the rule ids allowed on that line; "all" means
+ * every rule.
+ */
+std::map<int, std::set<std::string>>
+parseSuppressions(const std::string &src)
+{
+    std::map<int, std::set<std::string>> allow;
+    static const std::regex re(
+        R"(lva-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+    int line = 1;
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+        std::size_t eol = src.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = src.size();
+        const std::string text = src.substr(pos, eol - pos);
+        std::smatch m;
+        if (std::regex_search(text, m, re)) {
+            std::string list = m[1].str();
+            std::string item;
+            for (std::size_t i = 0; i <= list.size(); ++i) {
+                if (i == list.size() || list[i] == ',') {
+                    // trim
+                    const auto b = item.find_first_not_of(" \t");
+                    const auto e = item.find_last_not_of(" \t");
+                    if (b != std::string::npos)
+                        allow[line].insert(item.substr(b, e - b + 1));
+                    item.clear();
+                } else {
+                    item += list[i];
+                }
+            }
+        }
+        pos = eol + 1;
+        ++line;
+    }
+    return allow;
+}
+
+bool
+pathHasPrefix(const std::string &path, const std::vector<std::string> &prefixes)
+{
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string &p) {
+                           return path.compare(0, p.size(), p) == 0;
+                       });
+}
+
+/** Context shared by the individual rule passes. */
+struct FileCtx
+{
+    const std::string &relPath;
+    const std::string &stripped;
+    const std::vector<int> &lineOf;
+    const std::map<int, std::set<std::string>> &allow;
+    std::vector<Finding> &findings;
+
+    bool
+    suppressed(int line, const std::string &rule) const
+    {
+        for (int l : {line, line - 1}) {
+            auto it = allow.find(l);
+            if (it != allow.end() &&
+                (it->second.count(rule) || it->second.count("all")))
+                return true;
+        }
+        return false;
+    }
+
+    void
+    emit(std::size_t offset, const char *rule, std::string message)
+    {
+        const int line = lineOf[std::min(offset, stripped.size())];
+        if (!suppressed(line, rule))
+            findings.push_back({relPath, line, rule, std::move(message)});
+    }
+};
+
+/** Run @p re over the stripped text, emitting one finding per match. */
+void
+regexRule(FileCtx &ctx, const std::regex &re, const char *rule,
+          const std::string &messagePrefix)
+{
+    for (auto it = std::sregex_iterator(ctx.stripped.begin(),
+                                        ctx.stripped.end(), re);
+         it != std::sregex_iterator(); ++it) {
+        ctx.emit(static_cast<std::size_t>(it->position()), rule,
+                 messagePrefix + " '" + it->str() + "'");
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-rand / no-wall-clock / no-pointer-keyed-ordered: plain patterns.
+// ---------------------------------------------------------------------
+
+void
+checkRand(FileCtx &ctx)
+{
+    static const std::regex re(
+        R"(\b(?:std::)?(?:rand|srand)\s*\(|\brandom_device\b)");
+    regexRule(ctx, re, kNoRand,
+              "nondeterministic RNG API (seed a util/random.hh Rng "
+              "instead):");
+}
+
+void
+checkWallClock(FileCtx &ctx)
+{
+    // steady_clock is intentionally NOT flagged: util/bench_timer.hh
+    // uses it for wall-clock *reporting*, which never feeds results.
+    static const std::regex re(
+        R"(\b(?:std::)?time\s*\(|\bsystem_clock\b|\bhigh_resolution_clock\b|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b)");
+    regexRule(ctx, re, kNoWallClock,
+              "wall-clock read breaks run-to-run reproducibility (use "
+              "simulated ticks, or util/bench_timer for reporting):");
+}
+
+void
+checkPointerKeyedOrdered(FileCtx &ctx)
+{
+    // std::map<T*, ...> / std::set<T*>: ordered by pointer value, so
+    // iteration order depends on allocation addresses (ASLR, allocator
+    // state) and is not reproducible across runs.
+    static const std::regex re(
+        R"(\b(?:std::)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*\s*[,>])");
+    regexRule(ctx, re, kNoPointerKeyedOrdered,
+              "pointer-keyed ordered container iterates in allocation-"
+              "address order (key by a stable id instead):");
+}
+
+// ---------------------------------------------------------------------
+// no-unordered-iteration: two passes — find names declared with an
+// unordered container type, then flag range-for / begin()-family uses.
+// ---------------------------------------------------------------------
+
+std::vector<std::string>
+unorderedDeclNames(const std::string &stripped)
+{
+    std::vector<std::string> names;
+    static const std::regex decl(R"(\bunordered_(?:multi)?(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                        decl);
+         it != std::sregex_iterator(); ++it) {
+        // Balance the template angle brackets, then read the declared
+        // identifier (if any) that follows.
+        std::size_t i =
+            static_cast<std::size_t>(it->position() + it->length());
+        int depth = 1;
+        while (i < stripped.size() && depth > 0) {
+            if (stripped[i] == '<')
+                ++depth;
+            else if (stripped[i] == '>')
+                --depth;
+            ++i;
+        }
+        while (i < stripped.size() &&
+               (std::isspace(static_cast<unsigned char>(stripped[i])) ||
+                stripped[i] == '&' || stripped[i] == '*'))
+            ++i;
+        std::string name;
+        while (i < stripped.size() &&
+               (std::isalnum(static_cast<unsigned char>(stripped[i])) ||
+                stripped[i] == '_'))
+            name += stripped[i++];
+        if (!name.empty())
+            names.push_back(name);
+    }
+    return names;
+}
+
+void
+checkUnorderedIteration(FileCtx &ctx, const Options &opts)
+{
+    if (!pathHasPrefix(ctx.relPath, opts.exportPaths))
+        return;
+    for (const std::string &name : unorderedDeclNames(ctx.stripped)) {
+        // Range-for where the range expression ends in the container
+        // (optionally behind member access), and explicit iterator
+        // walks via the begin() family.  end() alone is NOT flagged:
+        // the find()/end() point-lookup idiom never iterates.
+        const std::regex uses(
+            "for\\s*\\([^()]*:\\s*(?:[A-Za-z_]\\w*\\s*(?:\\.|->|::)\\s*)*" +
+                name + "\\s*\\)|\\b" + name +
+                "\\s*(?:\\.|->)\\s*c?r?begin\\s*\\(",
+            std::regex::ECMAScript);
+        for (auto it = std::sregex_iterator(ctx.stripped.begin(),
+                                            ctx.stripped.end(), uses);
+             it != std::sregex_iterator(); ++it) {
+            ctx.emit(static_cast<std::size_t>(it->position()),
+                     kNoUnorderedIteration,
+                     "iteration over unordered container '" + name +
+                         "' can leak hash-order into exported results "
+                         "(sort keys first, or use a std::map/vector):");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// no-mutable-global: `static` data declarations (namespace scope,
+// function-local, or class member) that are not const/constexpr.
+// ---------------------------------------------------------------------
+
+void
+checkMutableGlobal(FileCtx &ctx, const Options &opts)
+{
+    if (pathHasPrefix(ctx.relPath, opts.mutableStateAllowedPaths))
+        return;
+    static const std::regex kw(R"(\bstatic\b)");
+    const std::string &s = ctx.stripped;
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), kw);
+         it != std::sregex_iterator(); ++it) {
+        const auto start = static_cast<std::size_t>(it->position());
+        // Scan forward: '(' first means a function declaration (the
+        // parameter list); ';', '=' or '{' first means a data
+        // declaration.  const/constexpr anywhere in between makes the
+        // data immutable and therefore fine.
+        std::size_t i = start + 6; // past "static"
+        bool isConst = false;
+        bool isData = false;
+        int angleDepth = 0;
+        std::string token;
+        auto flushToken = [&] {
+            if (token == "const" || token == "constexpr" ||
+                token == "consteval" || token == "constinit")
+                isConst = true;
+            token.clear();
+        };
+        for (; i < s.size(); ++i) {
+            const char c = s[i];
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+                token += c;
+                continue;
+            }
+            flushToken();
+            if (c == '<') {
+                ++angleDepth;
+            } else if (c == '>') {
+                if (angleDepth > 0)
+                    --angleDepth;
+            } else if (angleDepth == 0) {
+                if (c == '(')
+                    break; // function
+                if (c == ';' || c == '=' || c == '{') {
+                    isData = true;
+                    break;
+                }
+            }
+        }
+        if (isData && !isConst) {
+            ctx.emit(start, kNoMutableGlobal,
+                     "mutable static/global state is shared across "
+                     "sweep points and threads; make it const, pass it "
+                     "explicitly, or move it under src/util/ with "
+                     "documented synchronisation");
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {kNoRand, "everywhere",
+         "bans rand()/srand()/std::random_device; all randomness must "
+         "flow through the seeded util/random.hh Rng"},
+        {kNoWallClock, "everywhere",
+         "bans time()/system_clock/high_resolution_clock/gettimeofday/"
+         "clock_gettime/localtime/gmtime reads (steady_clock reporting "
+         "is fine)"},
+        {kNoUnorderedIteration, "src/eval/, src/util/stat*, tools/",
+         "bans iterating std::unordered_{map,set} on export-reachable "
+         "paths where hash order could leak into CSV/JSON artifacts"},
+        {kNoPointerKeyedOrdered, "everywhere",
+         "bans std::map/std::set keyed by pointers, whose iteration "
+         "order follows allocation addresses"},
+        {kNoMutableGlobal, "everywhere except src/util/",
+         "bans non-const static/global data; sweep workers share the "
+         "process, so hidden mutable state breaks jobs-count "
+         "independence"},
+    };
+    return catalog;
+}
+
+std::vector<Finding>
+lintSource(const std::string &relPath, const std::string &source,
+           const Options &opts)
+{
+    const std::string stripped = stripCommentsAndStrings(source);
+    const std::vector<int> lineOf = buildLineTable(stripped);
+    const auto allow = parseSuppressions(source);
+
+    std::vector<Finding> findings;
+    FileCtx ctx{relPath, stripped, lineOf, allow, findings};
+
+    checkRand(ctx);
+    checkWallClock(ctx);
+    checkPointerKeyedOrdered(ctx);
+    checkUnorderedIteration(ctx, opts);
+    checkMutableGlobal(ctx, opts);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.rule < b.rule;
+              });
+    return findings;
+}
+
+} // namespace lva::lint

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * lva-lint: determinism & safety static-analysis core.
+ *
+ * The whole evaluation pipeline promises byte-identical sweep results
+ * for any LVA_JOBS (DESIGN.md §10-11).  That guarantee is easy to break
+ * silently: one rand() in a workload, one wall-clock read folded into a
+ * stat, one range-for over an unordered_map feeding a CSV, and the
+ * "deterministic" exports start drifting between runs or hosts.  This
+ * library implements a small, dependency-free lint pass over C++ source
+ * text that flags exactly those hazard classes, so the invariant is
+ * enforced by tooling instead of by convention.
+ *
+ * The analysis is deliberately lexical (comment/string-stripped token
+ * scanning, not a full AST): it runs in milliseconds over the whole
+ * tree, needs no compiler integration, and the hazard patterns it hunts
+ * are syntactically shallow.  Findings can be suppressed per line with
+ *
+ *     // lva-lint: allow(<rule>[, <rule>...])
+ *
+ * placed on the offending line or on the line directly above it;
+ * `allow(all)` suppresses every rule.  clang-tidy (scripts/lint.sh)
+ * remains the deep-semantics companion pass where available.
+ */
+
+#ifndef LVA_TOOLS_LINT_LINT_CORE_HH
+#define LVA_TOOLS_LINT_LINT_CORE_HH
+
+#include <string>
+#include <vector>
+
+namespace lva::lint {
+
+/** One lint hit: where, which rule, and a human-readable reason. */
+struct Finding
+{
+    std::string file;    ///< path as given to lintSource (repo-relative)
+    int line = 0;        ///< 1-based source line
+    std::string rule;    ///< rule id from ruleCatalog()
+    std::string message; ///< what was matched and what to use instead
+};
+
+/** Catalog entry describing one rule. */
+struct RuleInfo
+{
+    std::string id;      ///< stable id used in findings and allow()
+    std::string scope;   ///< path scoping summary ("everywhere", ...)
+    std::string summary; ///< one-line description for --rules output
+};
+
+/** Rule ids (kept as named constants so tests can't typo them). */
+inline constexpr char kNoRand[] = "no-rand";
+inline constexpr char kNoWallClock[] = "no-wall-clock";
+inline constexpr char kNoUnorderedIteration[] = "no-unordered-iteration";
+inline constexpr char kNoPointerKeyedOrdered[] = "no-pointer-keyed-ordered";
+inline constexpr char kNoMutableGlobal[] = "no-mutable-global";
+
+/** The full rule catalog, in stable display order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Path scoping knobs; defaults mirror the repository layout. */
+struct Options
+{
+    /**
+     * Repo-relative path prefixes where iterating an unordered
+     * container is forbidden because the iteration order can reach an
+     * exported artifact (CSV, JSON stats, catalog dumps).
+     */
+    std::vector<std::string> exportPaths = {
+        "src/eval/",
+        "src/util/stat",  // stat_registry / stat_dump / stats_json
+        "tools/",
+    };
+
+    /**
+     * Repo-relative path prefixes where mutable static/global state is
+     * tolerated (utility plumbing that is documented thread-safe).
+     */
+    std::vector<std::string> mutableStateAllowedPaths = {
+        "src/util/",
+    };
+};
+
+/**
+ * Lint one translation unit.
+ *
+ * @param relPath repo-relative path ('/' separated) — used both for
+ *                reporting and for the path-scoped rules
+ * @param source  full file contents
+ * @param opts    path scoping (default matches this repository)
+ * @return        findings in source order; empty means the file is clean
+ */
+std::vector<Finding> lintSource(const std::string &relPath,
+                                const std::string &source,
+                                const Options &opts = {});
+
+} // namespace lva::lint
+
+#endif // LVA_TOOLS_LINT_LINT_CORE_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * lva-lint driver: walks sources (or a compile_commands.json file
+ * list), runs the determinism/safety rules from lint/lint_core.hh and
+ * reports findings gcc-style.  Exit status: 0 clean, 1 findings, 2
+ * usage/IO error.
+ *
+ * Usage:
+ *   lva_lint [--root DIR] [--compdb FILE] [--exclude PREFIX]...
+ *            [--rules] [PATH]...
+ *
+ *   PATHs (files or directories, default: src bench tests tools
+ *   examples under --root) are walked recursively for C++ sources.
+ *   --compdb lints exactly the files listed in a compilation database
+ *   instead.  --exclude drops files whose repo-relative path starts
+ *   with PREFIX (e.g. tests/lint_fixtures/).  --rules prints the rule
+ *   catalog and exits.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint_core.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Args
+{
+    std::string root = ".";
+    std::string compdb;
+    std::vector<std::string> excludes;
+    std::vector<std::string> paths;
+    bool rules = false;
+};
+
+bool
+isCppSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h" ||
+           ext == ".hpp" || ext == ".cxx";
+}
+
+std::string
+readFile(const fs::path &p, bool &ok)
+{
+    std::ifstream in(p, std::ios::binary);
+    ok = static_cast<bool>(in);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Repo-relative, '/'-separated path for scoping and reporting. */
+std::string
+relativize(const fs::path &file, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    if (ec || rel.empty() || *rel.begin() == "..")
+        rel = file;
+    return rel.generic_string();
+}
+
+/** Pull the "file" entries out of a compile_commands.json. */
+std::vector<fs::path>
+compdbFiles(const std::string &dbPath, bool &ok)
+{
+    std::string text = readFile(dbPath, ok);
+    std::vector<fs::path> files;
+    if (!ok)
+        return files;
+    static const std::regex entry(
+        R"re("file"\s*:\s*"((?:[^"\\]|\\.)*)")re");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), entry);
+         it != std::sregex_iterator(); ++it) {
+        std::string f = (*it)[1].str();
+        // Unescape the two sequences cmake actually emits in paths.
+        std::string clean;
+        for (std::size_t i = 0; i < f.size(); ++i) {
+            if (f[i] == '\\' && i + 1 < f.size())
+                ++i;
+            clean += f[i];
+        }
+        files.emplace_back(clean);
+    }
+    return files;
+}
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--root DIR] [--compdb FILE] [--exclude PREFIX]..."
+                 " [--rules] [PATH]...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "lva_lint: " << flag << " needs a value\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--rules") {
+            args.rules = true;
+        } else if (a == "--root") {
+            const char *v = value("--root");
+            if (!v)
+                return 2;
+            args.root = v;
+        } else if (a == "--compdb") {
+            const char *v = value("--compdb");
+            if (!v)
+                return 2;
+            args.compdb = v;
+        } else if (a == "--exclude") {
+            const char *v = value("--exclude");
+            if (!v)
+                return 2;
+            args.excludes.push_back(v);
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "lva_lint: unknown flag " << a << "\n";
+            return usage(argv[0]);
+        } else {
+            args.paths.push_back(a);
+        }
+    }
+
+    if (args.rules) {
+        std::cout << "lva-lint rules (suppress with"
+                     " // lva-lint: allow(<rule>)):\n";
+        for (const auto &r : lva::lint::ruleCatalog()) {
+            std::cout << "  " << r.id << "\n    scope: " << r.scope
+                      << "\n    " << r.summary << "\n";
+        }
+        return 0;
+    }
+
+    const fs::path root = fs::absolute(args.root);
+
+    // Collect the file list: compilation database, else path walk.
+    std::vector<fs::path> files;
+    if (!args.compdb.empty()) {
+        bool ok = false;
+        files = compdbFiles(args.compdb, ok);
+        if (!ok) {
+            std::cerr << "lva_lint: cannot read " << args.compdb << "\n";
+            return 2;
+        }
+    } else {
+        if (args.paths.empty())
+            args.paths = {"src", "bench", "tests", "tools", "examples"};
+        for (const std::string &p : args.paths) {
+            fs::path abs = fs::path(p).is_absolute() ? fs::path(p)
+                                                     : root / p;
+            std::error_code ec;
+            if (fs::is_directory(abs, ec)) {
+                for (fs::recursive_directory_iterator it(abs, ec), end;
+                     !ec && it != end; it.increment(ec)) {
+                    if (it->is_regular_file() && isCppSource(it->path()))
+                        files.push_back(it->path());
+                }
+            } else if (fs::is_regular_file(abs, ec)) {
+                files.push_back(abs);
+            } else {
+                std::cerr << "lva_lint: no such path: " << p << "\n";
+                return 2;
+            }
+        }
+    }
+
+    // Deterministic report order regardless of directory enumeration.
+    std::vector<std::pair<std::string, fs::path>> work;
+    for (const fs::path &f : files)
+        work.emplace_back(relativize(f, root), f);
+    std::sort(work.begin(), work.end());
+    work.erase(std::unique(work.begin(), work.end()), work.end());
+
+    const lva::lint::Options opts;
+    std::size_t findingCount = 0;
+    std::size_t fileCount = 0;
+    for (const auto &[rel, abs] : work) {
+        const bool excluded =
+            std::any_of(args.excludes.begin(), args.excludes.end(),
+                        [&](const std::string &e) {
+                            return rel.compare(0, e.size(), e) == 0;
+                        });
+        if (excluded)
+            continue;
+        bool ok = false;
+        const std::string source = readFile(abs, ok);
+        if (!ok) {
+            std::cerr << "lva_lint: cannot read " << abs << "\n";
+            return 2;
+        }
+        ++fileCount;
+        for (const auto &f : lva::lint::lintSource(rel, source, opts)) {
+            std::cout << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message << "\n";
+            ++findingCount;
+        }
+    }
+
+    if (findingCount == 0) {
+        std::cout << "lva-lint: " << fileCount << " files clean\n";
+        return 0;
+    }
+    std::cout << "lva-lint: " << findingCount << " finding(s) in "
+              << fileCount << " files (suppress intentional uses with"
+                 " // lva-lint: allow(<rule>))\n";
+    return 1;
+}
