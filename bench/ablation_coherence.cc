@@ -17,7 +17,7 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -42,58 +42,65 @@ main()
     };
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_coherence", argc, argv);
     SweepRunner runner;
-    const auto results = runner.map(names.size(), [&](u64 i) {
-        const std::string &name = names[i];
-        WorkloadParams params;
-        params.seed = 1;
-        params.scale = fsScaleFromEnv();
-        auto w = makeWorkload(name, params);
-        w->generate();
-        TraceRecorder rec(params.threads);
-        w->run(rec);
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) {
+            const std::string &name = names[i];
+            WorkloadParams params;
+            params.seed = 1;
+            params.scale = fsScaleFromEnv();
+            auto w = makeWorkload(name, params);
+            w->generate();
+            TraceRecorder rec(params.threads);
+            w->run(rec);
 
-        auto run = [&](CoherenceProtocol proto, bool lva_on) {
-            FullSystemConfig cfg = lva_on
-                                       ? FullSystemConfig::lva(4)
-                                       : FullSystemConfig::baseline();
-            cfg.protocol = proto;
-            FullSystemSim sim(cfg);
-            return sim.run(rec.traces());
-        };
+            auto run = [&](CoherenceProtocol proto, bool lva_on) {
+                FullSystemConfig cfg = lva_on
+                                           ? FullSystemConfig::lva(4)
+                                           : FullSystemConfig::baseline();
+                cfg.protocol = proto;
+                FullSystemSim sim(cfg);
+                return sim.run(rec.traces());
+            };
 
-        const FullSystemResult msi_base =
-            run(CoherenceProtocol::Msi, false);
-        const FullSystemResult msi_lva =
-            run(CoherenceProtocol::Msi, true);
-        const FullSystemResult mesi_base =
-            run(CoherenceProtocol::Mesi, false);
-        const FullSystemResult mesi_lva =
-            run(CoherenceProtocol::Mesi, true);
+            const FullSystemResult msi_base =
+                run(CoherenceProtocol::Msi, false);
+            const FullSystemResult msi_lva =
+                run(CoherenceProtocol::Msi, true);
+            const FullSystemResult mesi_base =
+                run(CoherenceProtocol::Mesi, false);
+            const FullSystemResult mesi_lva =
+                run(CoherenceProtocol::Mesi, true);
 
-        auto cycles = [](const FullSystemResult &r) {
-            return r.stats.valueOf("system.cycles");
-        };
-        WorkRes res;
-        res.row = {
-            name,
-            fmtPercent(cycles(msi_base) / cycles(msi_lva) - 1.0, 1),
-            fmtPercent(cycles(mesi_base) / cycles(mesi_lva) - 1.0, 1),
-            fmtPercent(FsSweep::snapFlitHops(mesi_base.stats) /
-                               FsSweep::snapFlitHops(msi_base.stats) -
-                           1.0,
-                       1)};
-        res.snaps = {{name + "/msi-base", name, msi_base.stats},
-                     {name + "/msi-lva", name, msi_lva.stats},
-                     {name + "/mesi-base", name, mesi_base.stats},
-                     {name + "/mesi-lva", name, mesi_lva.stats}};
-        return res;
-    });
+            auto cycles = [](const FullSystemResult &r) {
+                return r.stats.valueOf("system.cycles");
+            };
+            WorkRes res;
+            res.row = {
+                name,
+                fmtPercent(cycles(msi_base) / cycles(msi_lva) - 1.0, 1),
+                fmtPercent(cycles(mesi_base) / cycles(mesi_lva) - 1.0, 1),
+                fmtPercent(FsSweep::snapFlitHops(mesi_base.stats) /
+                                   FsSweep::snapFlitHops(msi_base.stats) -
+                               1.0,
+                           1)};
+            res.snaps = {{name + "/msi-base", name, msi_base.stats},
+                         {name + "/msi-lva", name, msi_lva.stats},
+                         {name + "/mesi-base", name, mesi_base.stats},
+                         {name + "/mesi-lva", name, mesi_lva.stats}};
+            return res;
+        },
+        opts, [&names](u64 i) { return names[i]; });
 
     std::vector<NamedSnapshot> snaps;
-    for (const auto &r : results) {
-        table.addRow(r.row);
-        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    for (const auto &r : outcome.results) {
+        if (!r) // failed workload: listed in the failures section
+            continue;
+        table.addRow(r->row);
+        snaps.insert(snaps.end(), r->snaps.begin(), r->snaps.end());
     }
 
     table.print("LVA (degree 4) speedup under MSI vs MESI");
@@ -101,6 +108,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_coherence.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("ablation_coherence", snaps).c_str());
-    return 0;
+                writeStatsJson("ablation_coherence", snaps,
+                               outcome.failures).c_str());
+    return reportSweepFailures(outcome.failures, names.size());
 }

@@ -14,7 +14,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -43,7 +43,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_estimators", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -75,7 +78,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_estimators_{mpki,error}.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("ablation_estimators", points, results)
+                exportSweepStats("ablation_estimators", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -19,7 +19,7 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -40,54 +40,61 @@ main()
     };
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_hetero_noc", argc, argv);
     SweepRunner runner;
-    const auto results = runner.map(names.size(), [&](u64 i) {
-        const std::string &name = names[i];
-        WorkloadParams params;
-        params.seed = 1;
-        params.scale = fsScaleFromEnv();
-        auto w = makeWorkload(name, params);
-        w->generate();
-        TraceRecorder rec(params.threads);
-        w->run(rec);
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) {
+            const std::string &name = names[i];
+            WorkloadParams params;
+            params.seed = 1;
+            params.scale = fsScaleFromEnv();
+            auto w = makeWorkload(name, params);
+            w->generate();
+            TraceRecorder rec(params.threads);
+            w->run(rec);
 
-        FullSystemSim base_sim(FullSystemConfig::baseline());
-        const FullSystemResult base = base_sim.run(rec.traces());
+            FullSystemSim base_sim(FullSystemConfig::baseline());
+            const FullSystemResult base = base_sim.run(rec.traces());
 
-        FullSystemConfig homo_cfg = FullSystemConfig::lva(4);
-        FullSystemSim homo_sim(homo_cfg);
-        const FullSystemResult homo = homo_sim.run(rec.traces());
+            FullSystemConfig homo_cfg = FullSystemConfig::lva(4);
+            FullSystemSim homo_sim(homo_cfg);
+            const FullSystemResult homo = homo_sim.run(rec.traces());
 
-        FullSystemConfig hetero_cfg = FullSystemConfig::lva(4);
-        hetero_cfg.heteroNoc = true;
-        FullSystemSim hetero_sim(hetero_cfg);
-        const FullSystemResult hetero = hetero_sim.run(rec.traces());
+            FullSystemConfig hetero_cfg = FullSystemConfig::lva(4);
+            hetero_cfg.heteroNoc = true;
+            FullSystemSim hetero_sim(hetero_cfg);
+            const FullSystemResult hetero = hetero_sim.run(rec.traces());
 
-        auto cycles = [](const FullSystemResult &r) {
-            return r.stats.valueOf("system.cycles");
-        };
-        auto total = [](const FullSystemResult &r) {
-            return r.stats.valueOf("energy.total");
-        };
-        WorkRes res;
-        res.row = {
-            name,
-            fmtPercent(cycles(base) / cycles(homo) - 1.0, 1),
-            fmtPercent(cycles(base) / cycles(hetero) - 1.0, 1),
-            fmtDouble(homo.stats.valueOf("energy.noc"), 1),
-            fmtDouble(hetero.stats.valueOf("energy.noc"), 1),
-            fmtPercent(1.0 - total(homo) / total(base), 1),
-            fmtPercent(1.0 - total(hetero) / total(base), 1)};
-        res.snaps = {{name + "/baseline", name, base.stats},
-                     {name + "/homo", name, homo.stats},
-                     {name + "/hetero", name, hetero.stats}};
-        return res;
-    });
+            auto cycles = [](const FullSystemResult &r) {
+                return r.stats.valueOf("system.cycles");
+            };
+            auto total = [](const FullSystemResult &r) {
+                return r.stats.valueOf("energy.total");
+            };
+            WorkRes res;
+            res.row = {
+                name,
+                fmtPercent(cycles(base) / cycles(homo) - 1.0, 1),
+                fmtPercent(cycles(base) / cycles(hetero) - 1.0, 1),
+                fmtDouble(homo.stats.valueOf("energy.noc"), 1),
+                fmtDouble(hetero.stats.valueOf("energy.noc"), 1),
+                fmtPercent(1.0 - total(homo) / total(base), 1),
+                fmtPercent(1.0 - total(hetero) / total(base), 1)};
+            res.snaps = {{name + "/baseline", name, base.stats},
+                         {name + "/homo", name, homo.stats},
+                         {name + "/hetero", name, hetero.stats}};
+            return res;
+        },
+        opts, [&names](u64 i) { return names[i]; });
 
     std::vector<NamedSnapshot> snaps;
-    for (const auto &r : results) {
-        table.addRow(r.row);
-        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    for (const auto &r : outcome.results) {
+        if (!r) // failed workload: listed in the failures section
+            continue;
+        table.addRow(r->row);
+        snaps.insert(snaps.end(), r->snaps.begin(), r->snaps.end());
     }
 
     table.print("LVA (degree 4): homogeneous vs heterogeneous NoC "
@@ -96,6 +103,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_hetero_noc.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("ablation_hetero_noc", snaps).c_str());
-    return 0;
+                writeStatsJson("ablation_hetero_noc", snaps,
+                               outcome.failures).c_str());
+    return reportSweepFailures(outcome.failures, names.size());
 }

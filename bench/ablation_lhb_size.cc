@@ -13,7 +13,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -38,7 +38,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_lhb_size", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -61,7 +64,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_lhb_size_{mpki,error}.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("ablation_lhb_size", points, results)
+                exportSweepStats("ablation_lhb_size", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -19,7 +19,7 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -40,44 +40,51 @@ main()
     };
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_slow_fetch", argc, argv);
     SweepRunner runner;
-    const auto results = runner.map(names.size(), [&](u64 i) {
-        const std::string &name = names[i];
-        WorkloadParams params;
-        params.seed = 1;
-        params.scale = fsScaleFromEnv();
-        auto w = makeWorkload(name, params);
-        w->generate();
-        TraceRecorder rec(params.threads);
-        w->run(rec);
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) {
+            const std::string &name = names[i];
+            WorkloadParams params;
+            params.seed = 1;
+            params.scale = fsScaleFromEnv();
+            auto w = makeWorkload(name, params);
+            w->generate();
+            TraceRecorder rec(params.threads);
+            w->run(rec);
 
-        FullSystemSim base_sim(FullSystemConfig::baseline());
-        const FullSystemResult base = base_sim.run(rec.traces());
-        const double base_cycles =
-            base.stats.valueOf("system.cycles");
+            FullSystemSim base_sim(FullSystemConfig::baseline());
+            const FullSystemResult base = base_sim.run(rec.traces());
+            const double base_cycles =
+                base.stats.valueOf("system.cycles");
 
-        WorkRes res;
-        res.row = {name};
-        res.snaps = {{name + "/baseline", name, base.stats}};
-        for (u32 extra : extras) {
-            FullSystemConfig cfg = FullSystemConfig::lva(4);
-            cfg.backgroundFetchExtraLatency = extra;
-            FullSystemSim sim(cfg);
-            const FullSystemResult r = sim.run(rec.traces());
-            res.row.push_back(fmtPercent(
-                base_cycles / r.stats.valueOf("system.cycles") - 1.0,
-                1));
-            res.snaps.push_back(
-                {name + "/extra-" + std::to_string(extra), name,
-                 r.stats});
-        }
-        return res;
-    });
+            WorkRes res;
+            res.row = {name};
+            res.snaps = {{name + "/baseline", name, base.stats}};
+            for (u32 extra : extras) {
+                FullSystemConfig cfg = FullSystemConfig::lva(4);
+                cfg.backgroundFetchExtraLatency = extra;
+                FullSystemSim sim(cfg);
+                const FullSystemResult r = sim.run(rec.traces());
+                res.row.push_back(fmtPercent(
+                    base_cycles / r.stats.valueOf("system.cycles") - 1.0,
+                    1));
+                res.snaps.push_back(
+                    {name + "/extra-" + std::to_string(extra), name,
+                     r.stats});
+            }
+            return res;
+        },
+        opts, [&names](u64 i) { return names[i]; });
 
     std::vector<NamedSnapshot> snaps;
-    for (const auto &r : results) {
-        table.addRow(r.row);
-        snaps.insert(snaps.end(), r.snaps.begin(), r.snaps.end());
+    for (const auto &r : outcome.results) {
+        if (!r) // failed workload: listed in the failures section
+            continue;
+        table.addRow(r->row);
+        snaps.insert(snaps.end(), r->snaps.begin(), r->snaps.end());
     }
 
     table.print("LVA (degree 4) speedup with deprioritized training "
@@ -86,6 +93,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_slow_fetch.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("ablation_slow_fetch", snaps).c_str());
-    return 0;
+                writeStatsJson("ablation_slow_fetch", snaps,
+                               outcome.failures).c_str());
+    return reportSweepFailures(outcome.failures, names.size());
 }

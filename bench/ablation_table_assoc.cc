@@ -15,7 +15,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -43,7 +43,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_table_assoc", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -66,7 +69,7 @@ main()
     std::printf("\nwrote results/ablation_table_assoc_{mpki,error}"
                 ".csv\n");
     std::printf("wrote %s\n",
-                exportSweepStats("ablation_table_assoc", points, results)
+                exportSweepStats("ablation_table_assoc", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

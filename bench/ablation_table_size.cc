@@ -14,7 +14,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -39,7 +39,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_table_size", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -62,7 +65,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("ablation_table_size_{mpki,error}.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("ablation_table_size", points, results)
+                exportSweepStats("ablation_table_size", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

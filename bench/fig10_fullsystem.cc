@@ -20,7 +20,7 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -40,15 +40,21 @@ main()
     double traffic_red_sum = 0.0;
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig10_fullsystem", argc, argv);
     SweepRunner runner;
-    const std::vector<FsSweep> sweeps =
-        runner.map(names.size(), [&](u64 i) {
-            return runFullSystemSweep(names[i], degrees);
-        });
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) { return runFullSystemSweep(names[i], degrees); },
+        opts, [&names](u64 i) { return names[i]; });
 
+    std::vector<FsSweep> sweeps;
     for (std::size_t w = 0; w < names.size(); ++w) {
+        if (!outcome.results[w]) // listed in the failures section
+            continue;
+        const FsSweep &sweep = *outcome.results[w];
+        sweeps.push_back(sweep);
         const std::string &name = names[w];
-        const FsSweep &sweep = sweeps[w];
         std::vector<std::string> sp_row = {name};
         std::vector<std::string> en_row = {name};
         for (std::size_t i = 0; i < degrees.size(); ++i) {
@@ -63,7 +69,8 @@ main()
         traffic_red_sum += sweep.trafficReduction(degrees.size() - 1);
     }
 
-    const double n = static_cast<double>(allWorkloadNames().size());
+    // Averages cover the workloads that completed.
+    const double n = static_cast<double>(sweeps.size());
     std::vector<std::string> sp_avg = {"average"};
     std::vector<std::string> en_avg = {"average"};
     for (std::size_t i = 0; i < degrees.size(); ++i) {
@@ -89,7 +96,8 @@ main()
                 resultsPath("fig10b_energy.csv").c_str());
     std::printf("wrote %s\n",
                 writeStatsJson("fig10_fullsystem",
-                               fsSweepSnapshots(sweeps))
+                               fsSweepSnapshots(sweeps),
+                               outcome.failures)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome.failures, names.size());
 }

@@ -16,7 +16,7 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -31,16 +31,21 @@ main()
     std::vector<double> edp_sum(degrees.size(), 0.0);
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig11_edp", argc, argv);
     SweepRunner runner;
-    const std::vector<FsSweep> sweeps =
-        runner.map(names.size(), [&](u64 i) {
-            return runFullSystemSweep(names[i], degrees);
-        });
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) { return runFullSystemSweep(names[i], degrees); },
+        opts, [&names](u64 i) { return names[i]; });
 
+    std::vector<FsSweep> sweeps;
     for (std::size_t w = 0; w < names.size(); ++w) {
-        const std::string &name = names[w];
-        const FsSweep &sweep = sweeps[w];
-        std::vector<std::string> row = {name};
+        if (!outcome.results[w]) // listed in the failures section
+            continue;
+        const FsSweep &sweep = *outcome.results[w];
+        sweeps.push_back(sweep);
+        std::vector<std::string> row = {names[w]};
         for (std::size_t i = 0; i < degrees.size(); ++i) {
             row.push_back(fmtDouble(sweep.normMissEdp(i), 3));
             edp_sum[i] += sweep.normMissEdp(i);
@@ -48,7 +53,8 @@ main()
         table.addRow(row);
     }
 
-    const double n = static_cast<double>(allWorkloadNames().size());
+    // Averages cover the workloads that completed.
+    const double n = static_cast<double>(sweeps.size());
     std::vector<std::string> avg = {"average"};
     for (std::size_t i = 0; i < degrees.size(); ++i)
         avg.push_back(fmtDouble(edp_sum[i] / n, 3));
@@ -60,7 +66,8 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("fig11_edp.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("fig11_edp", fsSweepSnapshots(sweeps))
+                writeStatsJson("fig11_edp", fsSweepSnapshots(sweeps),
+                               outcome.failures)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome.failures, names.size());
 }

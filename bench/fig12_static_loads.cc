@@ -20,7 +20,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -32,27 +32,37 @@ main()
     params.scale = 0.05; // site counts are static: tiny inputs suffice
 
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig12_static_loads", argc, argv);
     SweepRunner runner;
-    const auto counts = runner.map(names.size(), [&](u64 i) {
-        auto w = makeWorkload(names[i], params);
-        return std::make_pair(
-            w->approxLoadSites(),
-            static_cast<u32>(w->loadSites().size()));
-    });
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) {
+            auto w = makeWorkload(names[i], params);
+            return std::make_pair(
+                w->approxLoadSites(),
+                static_cast<u32>(w->loadSites().size()));
+        },
+        opts, [&names](u64 i) { return names[i]; });
 
     // No simulation runs here, so the export carries one snapshot of
     // catalogued "workload.*" gauges per benchmark.
     const auto &defs = workloadStaticDefs();
     std::vector<NamedSnapshot> snaps;
     for (std::size_t i = 0; i < names.size(); ++i) {
-        table.addRow({names[i], std::to_string(counts[i].first),
-                      std::to_string(counts[i].second)});
+        if (!outcome.results[i]) {
+            table.addRow({names[i], "nan", "nan"});
+            continue;
+        }
+        const auto &counts = *outcome.results[i];
+        table.addRow({names[i], std::to_string(counts.first),
+                      std::to_string(counts.second)});
         StatSnapshot snap;
         snap.setGauge(defs[0].path,
-                      static_cast<double>(counts[i].first),
+                      static_cast<double>(counts.first),
                       defs[0].desc, defs[0].unit);
         snap.setGauge(defs[1].path,
-                      static_cast<double>(counts[i].second),
+                      static_cast<double>(counts.second),
                       defs[1].desc, defs[1].unit);
         snaps.push_back({names[i], names[i], snap});
     }
@@ -62,6 +72,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("fig12_static_loads.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("fig12_static_loads", snaps).c_str());
-    return 0;
+                writeStatsJson("fig12_static_loads", snaps,
+                               outcome.failures).c_str());
+    return reportSweepFailures(outcome.failures, names.size());
 }

@@ -14,7 +14,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -39,7 +39,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig13_precision", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     for (std::size_t i = 0; i < std::size(drops); ++i) {
         const EvalResult &r = results[i];
@@ -55,7 +58,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("fig13_precision.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig13_precision", points, results)
+                exportSweepStats("fig13_precision", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -17,7 +17,7 @@
 #include "workloads/bodytrack.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -32,19 +32,41 @@ main()
         std::unique_ptr<BodytrackWorkload> w;
         StatSnapshot stats;
     };
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig1_bodytrack_output", argc, argv);
     SweepRunner runner;
-    auto runs = runner.map(2, [&](u64 i) {
-        Run run;
-        run.w = std::make_unique<BodytrackWorkload>(params);
-        run.w->generate();
-        ApproxMemory mem(i == 0 ? Evaluator::preciseConfig()
-                                : Evaluator::baselineLva());
-        run.w->run(mem);
-        run.stats = mem.snapshot();
-        return run;
-    });
-    BodytrackWorkload &precise = *runs[0].w;
-    BodytrackWorkload &approx = *runs[1].w;
+    auto outcome = runner.mapChecked(
+        2,
+        [&](u64 i) {
+            Run run;
+            run.w = std::make_unique<BodytrackWorkload>(params);
+            run.w->generate();
+            ApproxMemory mem(i == 0 ? Evaluator::preciseConfig()
+                                    : Evaluator::baselineLva());
+            run.w->run(mem);
+            run.stats = mem.snapshot();
+            return run;
+        },
+        opts,
+        [](u64 i) { return std::string(i == 0 ? "precise" : "lva"); });
+    if (!outcome.ok()) {
+        // The figure is a comparison: without both runs there is
+        // nothing to render, but whatever completed still exports.
+        std::vector<NamedSnapshot> snaps;
+        if (outcome.results[0])
+            snaps.push_back(
+                {"precise", "bodytrack", outcome.results[0]->stats});
+        if (outcome.results[1])
+            snaps.push_back(
+                {"lva", "bodytrack", outcome.results[1]->stats});
+        std::printf("wrote %s\n",
+                    writeStatsJson("fig1_bodytrack_output", snaps,
+                                   outcome.failures).c_str());
+        return reportSweepFailures(outcome.failures, 2);
+    }
+    auto &runs = outcome.results;
+    BodytrackWorkload &precise = *runs[0]->w;
+    BodytrackWorkload &approx = *runs[1]->w;
 
     precise.renderTrack().writePgm(resultsPath("fig1_precise.pgm"));
     approx.renderTrack().writePgm(resultsPath("fig1_approx.pgm"));
@@ -64,8 +86,8 @@ main()
     std::printf("wrote %s\n",
                 writeStatsJson(
                     "fig1_bodytrack_output",
-                    {{"precise", "bodytrack", runs[0].stats},
-                     {"lva", "bodytrack", runs[1].stats}})
+                    {{"precise", "bodytrack", runs[0]->stats},
+                     {"lva", "bodytrack", runs[1]->stats}})
                     .c_str());
     return 0;
 }

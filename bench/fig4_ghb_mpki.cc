@@ -13,7 +13,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -51,7 +51,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig4_ghb_mpki", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -83,7 +86,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("fig4_ghb_mpki.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig4_ghb_mpki", points, results)
+                exportSweepStats("fig4_ghb_mpki", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

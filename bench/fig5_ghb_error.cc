@@ -12,7 +12,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -37,7 +37,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig5_ghb_error", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -58,7 +61,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("fig5_ghb_error.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig5_ghb_error", points, results)
+                exportSweepStats("fig5_ghb_error", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -16,7 +16,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -58,7 +58,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig6_confidence", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -83,7 +86,7 @@ main()
                 resultsPath("fig6a_confidence_mpki.csv").c_str(),
                 resultsPath("fig6b_confidence_error.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig6_confidence", points, results)
+                exportSweepStats("fig6_confidence", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

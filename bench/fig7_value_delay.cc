@@ -12,7 +12,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -39,7 +39,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig7_value_delay", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -63,7 +66,7 @@ main()
                 resultsPath("fig7a_delay_mpki.csv").c_str(),
                 resultsPath("fig7b_delay_error.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig7_value_delay", points, results)
+                exportSweepStats("fig7_value_delay", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -15,7 +15,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -55,7 +55,10 @@ main()
     }
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig8_degree_fetches", argc, argv);
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    const std::vector<EvalResult> &results = outcome.results;
 
     std::size_t next = 0;
     for (const auto &name : allWorkloadNames()) {
@@ -102,7 +105,7 @@ main()
                 resultsPath("fig8a_degree_mpki.csv").c_str(),
                 resultsPath("fig8b_degree_fetches.csv").c_str());
     std::printf("wrote %s\n",
-                exportSweepStats("fig8_degree_fetches", points, results)
+                exportSweepStats("fig8_degree_fetches", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

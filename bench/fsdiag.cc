@@ -64,15 +64,23 @@ main(int argc, char **argv)
         names = allWorkloadNames();
 
     BenchTimer timer("fsdiag");
+    // fsdiag has its own CLI (--stats, workload names), so the
+    // robustness knobs arrive via the environment only.
+    SweepOptions opts;
+    opts.driver = "fsdiag";
     SweepRunner runner;
-    const std::vector<FsSweep> sweeps =
-        runner.map(names.size(), [&](u64 i) {
-            return runFullSystemSweep(names[i], {0, 16});
-        });
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) { return runFullSystemSweep(names[i], {0, 16}); },
+        opts, [&names](u64 i) { return names[i]; });
 
+    std::vector<FsSweep> sweeps;
     for (std::size_t w = 0; w < names.size(); ++w) {
+        if (!outcome.results[w]) // listed in the failures section
+            continue;
+        const FsSweep &sweep = *outcome.results[w];
+        sweeps.push_back(sweep);
         const std::string &name = names[w];
-        const FsSweep &sweep = sweeps[w];
         Table t({"config", "Mcycles", "IPC", "L1miss", "demand",
                  "approx", "skipped", "missLat", "dram", "flitHops",
                  "nocWaitM", "memWaitM", "bankWaitM", "mJ*1e-6"});
@@ -97,7 +105,8 @@ main(int argc, char **argv)
         }
     }
     std::printf("wrote %s\n",
-                writeStatsJson("fsdiag", fsSweepSnapshots(sweeps))
+                writeStatsJson("fsdiag", fsSweepSnapshots(sweeps),
+                               outcome.failures)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome.failures, names.size());
 }

@@ -14,7 +14,7 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lva;
 
@@ -37,17 +37,28 @@ main()
         EvalResult lva;
     };
     const auto &names = allWorkloadNames();
+    const SweepOptions opts =
+        sweepOptionsFromCli("table1_mpki", argc, argv);
     SweepRunner runner(eval);
-    const std::vector<Point> results =
-        runner.map(names.size(), [&](u64 i) {
+    const auto outcome = runner.mapChecked(
+        names.size(),
+        [&](u64 i) {
             return Point{eval.evaluatePrecise(names[i]),
                          eval.evaluate(names[i],
                                        Evaluator::baselineLva())};
-        });
+        },
+        opts, [&names](u64 i) { return names[i]; });
 
     std::vector<NamedSnapshot> snaps;
     for (std::size_t row = 0; row < names.size(); ++row) {
-        const Point &p = results[row];
+        if (!outcome.results[row]) {
+            // Failed benchmark: an honest nan row; details live in
+            // the export's failures section.
+            table.addRow({names[row], "nan", "nan", paper_mpki[row],
+                          paper_var[row]});
+            continue;
+        }
+        const Point &p = *outcome.results[row];
         const double mpki = p.precise.stats.valueOf("eval.mpki");
         table.addRow({names[row],
                       mpki < 0.01 ? fmtDouble(mpki, 6)
@@ -66,6 +77,7 @@ main()
     std::printf("\nwrote %s\n",
                 resultsPath("table1_mpki.csv").c_str());
     std::printf("wrote %s\n",
-                writeStatsJson("table1_mpki", snaps).c_str());
-    return 0;
+                writeStatsJson("table1_mpki", snaps,
+                               outcome.failures).c_str());
+    return reportSweepFailures(outcome.failures, names.size());
 }

@@ -58,6 +58,13 @@ declare -A BENCH_SECONDS
 BENCH_ORDER=()
 total_ms=0
 
+# Fault tolerance (DESIGN.md §13): every sweep driver records its
+# completed points into results/checkpoints/<driver>.jsonl, so a
+# killed run can restart with LVA_RESUME=1 (or --resume) and skip the
+# work it already finished. The knob travels via the environment, not
+# argv, because google-benchmark micro_* binaries reject our flags.
+export LVA_CHECKPOINT=1
+
 for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue
     name="$(basename "$b")"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace lva {
@@ -122,6 +123,11 @@ Evaluator::golden(const std::string &name, WorkloadFactory factory,
     }
 
     std::call_once(slot->once, [&] {
+        // An exception here (including an injected one) leaves the
+        // once_flag unset, so a retried point rebuilds the baseline
+        // instead of latching a broken slot forever.
+        faultPoint("eval.golden." + name);
+
         WorkloadParams params;
         params.seed = seed;
         params.scale = scale_;
@@ -142,6 +148,8 @@ EvalResult
 Evaluator::evaluate(const std::string &name,
                     const ApproxMemory::Config &cfg)
 {
+    faultPoint("eval.evaluate." + name);
+
     EvalResult avg;
     double sum_precise_mpki = 0.0, sum_mpki = 0.0;
     double sum_norm_mpki = 0.0;

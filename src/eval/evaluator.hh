@@ -36,6 +36,13 @@ struct EvalResult
     double instructions = 0.0;  ///< dynamic instructions (configured run)
 
     /**
+     * Set on the NaN placeholder a checked sweep leaves for a point
+     * that could not be completed (see SweepRunner::runChecked);
+     * never set on a result produced by an actual evaluation.
+     */
+    bool failed = false;
+
+    /**
      * Registry snapshot merged over all seeds (counters summed), with
      * the seed-averaged derived metrics folded in as "eval.*" gauges.
      */

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "eval/sweep.hh"
 #include "util/logging.hh"
 #include "util/results_dir.hh"
 #include "util/stats_json.hh"
@@ -178,6 +179,14 @@ std::string
 renderStatsJson(const std::string &driver,
                 const std::vector<NamedSnapshot> &snaps)
 {
+    return renderStatsJson(driver, snaps, {});
+}
+
+std::string
+renderStatsJson(const std::string &driver,
+                const std::vector<NamedSnapshot> &snaps,
+                const std::vector<PointFailure> &failures)
+{
     std::string out = "{\n";
     out += "  \"schema\": " +
            jsonQuote(statsJsonSchema()) + ",\n";
@@ -193,8 +202,28 @@ renderStatsJson(const std::string &driver,
         out += ",\n      \"stats\": " + snapshotToJson(s.stats, 6);
         out += "\n    }";
     }
-    out += first ? "]\n" : "\n  ]\n";
-    out += "}\n";
+    out += first ? "]" : "\n  ]";
+    if (!failures.empty()) {
+        // Additive section: absent on clean sweeps so the historical
+        // byte layout (and every determinism test pinning it) holds.
+        out += ",\n  \"failures\": [";
+        bool ffirst = true;
+        for (const PointFailure &f : failures) {
+            out += ffirst ? "\n" : ",\n";
+            ffirst = false;
+            out += "    {\"index\": " + std::to_string(f.index);
+            out += ", \"label\": " + jsonQuote(f.label);
+            if (!f.workload.empty())
+                out += ", \"workload\": " + jsonQuote(f.workload);
+            out += ", \"error\": " + jsonQuote(f.error);
+            out += ", \"attempts\": " + std::to_string(f.attempts);
+            out += std::string(", \"timedOut\": ") +
+                   (f.timedOut ? "true" : "false");
+            out += "}";
+        }
+        out += ffirst ? "]" : "\n  ]";
+    }
+    out += "\n}\n";
     return out;
 }
 
@@ -229,6 +258,14 @@ std::string
 writeStatsJson(const std::string &driver,
                const std::vector<NamedSnapshot> &snaps)
 {
+    return writeStatsJson(driver, snaps, {});
+}
+
+std::string
+writeStatsJson(const std::string &driver,
+               const std::vector<NamedSnapshot> &snaps,
+               const std::vector<PointFailure> &failures)
+{
     const std::string path =
         resultsPath("stats/" + driver + ".json");
     checkStatsFileSchema(path);
@@ -238,7 +275,7 @@ writeStatsJson(const std::string &driver,
     std::ofstream out(path, std::ios::trunc);
     if (!out.is_open())
         lva_fatal("cannot open '%s' for writing", path.c_str());
-    out << renderStatsJson(driver, snaps);
+    out << renderStatsJson(driver, snaps, failures);
     return path;
 }
 

@@ -17,6 +17,8 @@
 
 namespace lva {
 
+struct PointFailure; // eval/sweep.hh
+
 /** Append one cache's counters under @p prefix. */
 void appendCacheStats(StatDump &dump, const std::string &prefix,
                       const CacheStats &stats);
@@ -63,6 +65,16 @@ std::string renderStatsJson(const std::string &driver,
                             const std::vector<NamedSnapshot> &snaps);
 
 /**
+ * As above, plus a "failures" section listing every point a checked
+ * sweep could not complete. With @p failures empty the bytes are
+ * identical to the failure-less overload, so clean runs — including
+ * resumed ones — export exactly the historical shape.
+ */
+std::string renderStatsJson(const std::string &driver,
+                            const std::vector<NamedSnapshot> &snaps,
+                            const std::vector<PointFailure> &failures);
+
+/**
  * Guard against silently truncating an export written by a different
  * schema version: if @p path exists and carries a schema tag other
  * than statsJsonSchema(), throw std::runtime_error. A missing file,
@@ -80,6 +92,11 @@ void checkStatsFileSchema(const std::string &path);
  */
 std::string writeStatsJson(const std::string &driver,
                            const std::vector<NamedSnapshot> &snaps);
+
+/** writeStatsJson with a "failures" section (partial sweeps). */
+std::string writeStatsJson(const std::string &driver,
+                           const std::vector<NamedSnapshot> &snaps,
+                           const std::vector<PointFailure> &failures);
 
 } // namespace lva
 

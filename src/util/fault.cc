@@ -1,0 +1,224 @@
+#include "util/fault.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace lva {
+
+namespace {
+
+/**
+ * The armed plan. Mutable global state is acceptable here (and only
+ * here, in src/util/): the plan is written once at startup or by a
+ * test hook, and hit counting must be shared across sweep workers to
+ * give 'firstN'/'atN' triggers a single deterministic count.
+ */
+std::mutex plan_mutex;
+std::vector<FaultEntry> plan;
+std::atomic<bool> armed{false};
+bool env_loaded = false;
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw std::invalid_argument("bad LVA_FAULT spec '" + spec +
+                                "': " + why);
+}
+
+/** Parse a decimal operand; rejects empty and trailing garbage. */
+unsigned long
+parseCount(const std::string &spec, const std::string &text)
+{
+    if (text.empty())
+        badSpec(spec, "missing count");
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        badSpec(spec, "bad count '" + text + "'");
+    return v;
+}
+
+FaultEntry
+parseEntry(const std::string &spec, const std::string &text)
+{
+    FaultEntry e;
+    const auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        badSpec(spec, "entry '" + text + "' is not site=action");
+    e.site = text.substr(0, eq);
+    if (!e.site.empty() && e.site.back() == '*') {
+        e.wildcard = true;
+        e.site.pop_back();
+    }
+
+    std::string action = text.substr(eq + 1);
+    const auto at = action.find('@');
+    std::string trigger = "always";
+    if (at != std::string::npos) {
+        trigger = action.substr(at + 1);
+        action = action.substr(0, at);
+    }
+
+    const auto colon = action.find(':');
+    std::string kind = action.substr(0, colon);
+    if (kind == "throw") {
+        e.kind = FaultEntry::Kind::Throw;
+    } else if (kind == "abort") {
+        e.kind = FaultEntry::Kind::Abort;
+    } else if (kind == "allocfail") {
+        e.kind = FaultEntry::Kind::AllocFail;
+    } else if (kind == "delay") {
+        e.kind = FaultEntry::Kind::Delay;
+    } else {
+        badSpec(spec, "unknown action '" + kind + "'");
+    }
+
+    if (e.kind == FaultEntry::Kind::Delay) {
+        if (colon == std::string::npos)
+            badSpec(spec, "delay needs ':<ms>'");
+        e.delayMs = parseCount(spec, action.substr(colon + 1));
+    } else if (colon != std::string::npos) {
+        badSpec(spec, "'" + kind + "' takes no ':' argument");
+    }
+
+    if (trigger == "always") {
+        e.trigger = FaultEntry::Trigger::Always;
+    } else if (trigger.rfind("first", 0) == 0) {
+        e.trigger = FaultEntry::Trigger::First;
+        e.n = parseCount(spec, trigger.substr(5));
+    } else if (trigger.rfind("at", 0) == 0) {
+        e.trigger = FaultEntry::Trigger::At;
+        e.n = parseCount(spec, trigger.substr(2));
+    } else {
+        badSpec(spec, "unknown trigger '" + trigger + "'");
+    }
+    if (e.trigger != FaultEntry::Trigger::Always && e.n == 0)
+        badSpec(spec, "trigger count must be >= 1");
+    return e;
+}
+
+bool
+matches(const FaultEntry &e, const std::string &site)
+{
+    if (e.wildcard)
+        return site.compare(0, e.site.size(), e.site) == 0;
+    return site == e.site;
+}
+
+/** Load LVA_FAULT once; later faultPoint() calls skip the getenv. */
+void
+loadEnvLocked()
+{
+    if (env_loaded)
+        return;
+    env_loaded = true;
+    const char *env = std::getenv("LVA_FAULT");
+    if (env == nullptr || env[0] == '\0')
+        return;
+    plan = parseFaultSpec(env); // a bad env spec must fail loudly
+    armed.store(!plan.empty(), std::memory_order_release);
+}
+
+} // namespace
+
+std::vector<FaultEntry>
+parseFaultSpec(const std::string &spec)
+{
+    std::vector<FaultEntry> entries;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        auto end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(start, end - start);
+        if (!item.empty())
+            entries.push_back(parseEntry(spec, item));
+        start = end + 1;
+    }
+    return entries;
+}
+
+int
+faultExitCode()
+{
+    return 53;
+}
+
+bool
+faultsArmed()
+{
+    if (armed.load(std::memory_order_acquire))
+        return true;
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    loadEnvLocked();
+    return armed.load(std::memory_order_acquire);
+}
+
+void
+setFaultSpecForTest(const std::string &spec)
+{
+    std::vector<FaultEntry> next = parseFaultSpec(spec); // may throw
+    std::lock_guard<std::mutex> lock(plan_mutex);
+    env_loaded = true; // a test-set plan overrides the environment
+    plan = std::move(next);
+    armed.store(!plan.empty(), std::memory_order_release);
+}
+
+void
+faultPoint(const std::string &site)
+{
+    if (!faultsArmed())
+        return;
+
+    // Decide under the lock, act outside it: delays must not stall
+    // other workers' site checks, and thrown faults must not hold it.
+    FaultEntry::Kind kind = FaultEntry::Kind::Throw;
+    unsigned long delay_ms = 0;
+    bool fire = false;
+    {
+        std::lock_guard<std::mutex> lock(plan_mutex);
+        for (FaultEntry &e : plan) {
+            if (!matches(e, site))
+                continue;
+            ++e.hits;
+            const bool hit =
+                e.trigger == FaultEntry::Trigger::Always ||
+                (e.trigger == FaultEntry::Trigger::First &&
+                 e.hits <= e.n) ||
+                (e.trigger == FaultEntry::Trigger::At && e.hits == e.n);
+            if (hit && !fire) {
+                fire = true;
+                kind = e.kind;
+                delay_ms = e.delayMs;
+            }
+        }
+    }
+    if (!fire)
+        return;
+
+    switch (kind) {
+      case FaultEntry::Kind::Throw:
+        throw FaultInjected(site);
+      case FaultEntry::Kind::AllocFail:
+        throw std::bad_alloc();
+      case FaultEntry::Kind::Delay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+        return;
+      case FaultEntry::Kind::Abort:
+        // Simulate a kill: no atexit handlers, no flushes, no unwind.
+        // Partially-written artifacts (e.g. a checkpoint manifest
+        // line) are left exactly as a real crash would leave them.
+        std::fprintf(stderr, "fault: injected abort at %s\n",
+                     site.c_str());
+        std::_Exit(faultExitCode());
+    }
+}
+
+} // namespace lva

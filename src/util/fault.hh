@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for robustness testing.
+ *
+ * Production code marks interesting places with named *sites*
+ * (faultPoint("sweep.point.3")); the LVA_FAULT environment knob arms
+ * actions at those sites, so tests can prove that isolation, retry,
+ * resume and partial export behave as documented without patching the
+ * code under test. Unset (the default) the whole harness collapses to
+ * one relaxed atomic load per site.
+ *
+ * Spec grammar (DESIGN.md section 13):
+ *
+ *   LVA_FAULT ::= entry (',' entry)*
+ *   entry     ::= site '=' action
+ *   site      ::= dotted name; a trailing '*' makes it a prefix match
+ *   action    ::= kind [':' ms] ['@' trigger]
+ *   kind      ::= 'throw' | 'abort' | 'allocfail' | 'delay'
+ *   trigger   ::= 'always' | 'first' N | 'at' N      (default: always)
+ *
+ * Kinds: 'throw' raises FaultInjected (a std::runtime_error);
+ * 'allocfail' raises std::bad_alloc; 'delay' sleeps for the given
+ * milliseconds (':ms' is required for delay, rejected otherwise);
+ * 'abort' terminates the process immediately via _Exit(faultExitCode())
+ * — no atexit handlers, no stream flushes — simulating a kill/OOM in
+ * the middle of a sweep. Triggers count *matches of that entry*:
+ * 'first3' fires on the first three hits, 'at3' on the third hit only.
+ *
+ * Examples:
+ *   LVA_FAULT=sweep.point.2=abort               crash at sweep point 2
+ *   LVA_FAULT=sweep.point.0=throw@first2        2 transient failures
+ *   LVA_FAULT=eval.golden.*=delay:50@at1        slow first golden run
+ *
+ * Everything here is deterministic: hit counts are per-entry and sites
+ * are hit at deterministic program points, so a given spec produces
+ * the same faults on every run (and, for index-keyed sites, for any
+ * LVA_JOBS value).
+ */
+
+#ifndef LVA_UTIL_FAULT_HH
+#define LVA_UTIL_FAULT_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lva {
+
+/** The exception 'throw' actions raise; carries the site name. */
+class FaultInjected : public std::runtime_error
+{
+  public:
+    explicit FaultInjected(const std::string &site)
+        : std::runtime_error("injected fault at " + site) {}
+};
+
+/** One parsed LVA_FAULT entry (exposed for tests and diagnostics). */
+struct FaultEntry
+{
+    enum class Kind : int { Throw, Abort, AllocFail, Delay };
+    enum class Trigger : int { Always, First, At };
+
+    std::string site;        ///< site name; prefix match if wildcard
+    bool wildcard = false;   ///< true when the spec ended with '*'
+    Kind kind = Kind::Throw;
+    Trigger trigger = Trigger::Always;
+    unsigned long n = 0;     ///< trigger operand (first N / at N)
+    unsigned long delayMs = 0;
+    unsigned long hits = 0;  ///< matches so far (guarded by plan lock)
+};
+
+/**
+ * Parse a fault spec; throws std::invalid_argument with a pointed
+ * message on bad grammar. An empty spec yields an empty plan.
+ */
+std::vector<FaultEntry> parseFaultSpec(const std::string &spec);
+
+/** Fast check: is any fault entry armed at all? */
+bool faultsArmed();
+
+/**
+ * Hit a named site. Never does anything unless LVA_FAULT (or
+ * setFaultSpecForTest) armed an entry matching @p site, in which case
+ * it may throw, sleep, or terminate the process as configured.
+ */
+void faultPoint(const std::string &site);
+
+/**
+ * Replace the active plan (tests). Throws std::invalid_argument on a
+ * bad spec, leaving the previous plan armed. Passing "" disarms.
+ */
+void setFaultSpecForTest(const std::string &spec);
+
+/** The _Exit status used by 'abort' actions (recognizable in tests). */
+int faultExitCode();
+
+} // namespace lva
+
+#endif // LVA_UTIL_FAULT_HH

@@ -4,6 +4,31 @@
 #include <cstdio>
 
 namespace lva {
+
+namespace {
+
+// Thread-local so one worker's isolation cannot mask an invariant
+// violation on another thread (mutable state is legal in src/util/).
+thread_local int isolation_depth = 0;
+
+} // namespace
+
+ScopedFailureIsolation::ScopedFailureIsolation()
+{
+    ++isolation_depth;
+}
+
+ScopedFailureIsolation::~ScopedFailureIsolation()
+{
+    --isolation_depth;
+}
+
+bool
+failureIsolationActive()
+{
+    return isolation_depth > 0;
+}
+
 namespace detail {
 
 std::string
@@ -30,6 +55,9 @@ vformat(const char *fmt, ...)
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (failureIsolationActive())
+        throw IsolatedError(vformat("panic: %s (at %s:%d)",
+                                    msg.c_str(), file, line));
     std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::abort();
 }
@@ -37,6 +65,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (failureIsolationActive())
+        throw IsolatedError(vformat("fatal: %s (at %s:%d)",
+                                    msg.c_str(), file, line));
     std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
     std::exit(1);
 }

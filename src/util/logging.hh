@@ -13,9 +13,43 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace lva {
+
+/**
+ * What panic()/fatal() raise while a ScopedFailureIsolation is
+ * active on the calling thread (instead of terminating the process).
+ */
+class IsolatedError : public std::runtime_error
+{
+  public:
+    explicit IsolatedError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/**
+ * RAII: while alive, lva_panic / lva_assert / lva_fatal on *this
+ * thread* throw IsolatedError instead of aborting or exiting the
+ * process. The sweep engine arms this around each point so one bad
+ * configuration (a tripped invariant, an unusable config) becomes a
+ * structured per-point failure rather than the loss of the whole
+ * batch. Nestable; never copyable.
+ */
+class ScopedFailureIsolation
+{
+  public:
+    ScopedFailureIsolation();
+    ~ScopedFailureIsolation();
+
+    ScopedFailureIsolation(const ScopedFailureIsolation &) = delete;
+    ScopedFailureIsolation &
+    operator=(const ScopedFailureIsolation &) = delete;
+};
+
+/** True when the calling thread is inside a ScopedFailureIsolation. */
+bool failureIsolationActive();
 
 namespace detail {
 

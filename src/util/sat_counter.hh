@@ -39,19 +39,17 @@ class SignedSatCounter
         return SignedSatCounter(-half, half - 1, initial);
     }
 
-    /** Increment by n, saturating at the maximum. */
-    void
-    increment(i32 n = 1)
-    {
-        value_ = (value_ > max_ - n) ? max_ : value_ + n;
-    }
+    /**
+     * Increment by n, saturating at the maximum. A negative n steps
+     * the other way (saturating at the minimum): the old clamp test
+     * `value_ > max_ - n` moved the rail in the wrong direction for
+     * negative steps and could overflow, letting the value escape
+     * [min, max].
+     */
+    void increment(i32 n = 1) { bump(static_cast<i64>(n)); }
 
-    /** Decrement by n, saturating at the minimum. */
-    void
-    decrement(i32 n = 1)
-    {
-        value_ = (value_ < min_ + n) ? min_ : value_ - n;
-    }
+    /** Decrement by n, saturating at the minimum (negative n: max). */
+    void decrement(i32 n = 1) { bump(-static_cast<i64>(n)); }
 
     void reset(i32 v) { value_ = (v < min_) ? min_ : (v > max_) ? max_ : v; }
 
@@ -62,6 +60,19 @@ class SignedSatCounter
     bool saturatedLow() const { return value_ == min_; }
 
   private:
+    /**
+     * Shared saturating step. i64 arithmetic cannot overflow for any
+     * i32 operands (|value_ + n| < 2^33), so both rails clamp exactly.
+     */
+    void
+    bump(i64 n)
+    {
+        const i64 next = static_cast<i64>(value_) + n;
+        value_ = next > max_   ? max_
+                 : next < min_ ? min_
+                               : static_cast<i32>(next);
+    }
+
     i32 min_;
     i32 max_;
     i32 value_;

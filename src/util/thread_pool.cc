@@ -11,8 +11,11 @@ u32
 ThreadPool::defaultJobs()
 {
     if (const char *env = std::getenv("LVA_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 256)
+        // Strict decimal parse: "4abc" and "0x2" are configuration
+        // mistakes, not 4 and 0 — reject any trailing characters.
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 256)
             return static_cast<u32>(v);
         lva_warn("ignoring bad LVA_JOBS='%s'", env);
     }

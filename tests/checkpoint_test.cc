@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the checkpoint manifest layer (util/checkpoint): the
+ * minimal JSON reader, the stable digest helpers, and the manifest's
+ * load/append/resume behavior including torn-tail truncation and
+ * header-mismatch recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/checkpoint.hh"
+
+namespace lva {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Fresh scratch file per test; removed afterwards. */
+class ManifestTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() / "lva_checkpoint_test";
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        path_ = (dir_ / "m.jsonl").string();
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path dir_;
+    std::string path_;
+};
+
+// ---------------------------------------------------------------------
+// Digest helpers
+// ---------------------------------------------------------------------
+
+TEST(Fnv1a64, MatchesKnownVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, HexRenderingIsFixedWidthLowercase)
+{
+    EXPECT_EQ(hexU64(0), "0000000000000000");
+    EXPECT_EQ(hexU64(0xcbf29ce484222325ull), "cbf29ce484222325");
+    EXPECT_EQ(hexU64(0xffffffffffffffffull), "ffffffffffffffff");
+}
+
+// ---------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------
+
+TEST(ParseJson, ScalarsAndContainers)
+{
+    const JsonValue v = parseJson(
+        R"({"s":"hi","n":-2.5,"u":18446744073709551615,)"
+        R"("t":true,"f":false,"z":null,"a":[1,2,3],"o":{"k":"v"}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("s").asString(), "hi");
+    EXPECT_EQ(v.at("n").asDouble(), -2.5);
+    // u64 counters round-trip exactly (no detour through double).
+    EXPECT_EQ(v.at("u").asU64(), 18446744073709551615ull);
+    EXPECT_TRUE(v.at("t").boolean);
+    EXPECT_FALSE(v.at("f").boolean);
+    EXPECT_EQ(v.at("z").type, JsonValue::Type::Null);
+    ASSERT_TRUE(v.at("a").isArray());
+    ASSERT_EQ(v.at("a").items.size(), 3u);
+    EXPECT_EQ(v.at("a").items[2].asU64(), 3u);
+    EXPECT_EQ(v.at("o").at("k").asString(), "v");
+}
+
+TEST(ParseJson, StringEscapes)
+{
+    const JsonValue v =
+        parseJson(R"("line\nquote\"back\\slash\ttab\u0007")");
+    EXPECT_EQ(v.asString(), "line\nquote\"back\\slash\ttab\a");
+}
+
+TEST(ParseJson, NumberTextPreserved)
+{
+    // %.17g doubles survive as source text.
+    const JsonValue v = parseJson("0.10000000000000001");
+    EXPECT_EQ(v.text, "0.10000000000000001");
+    EXPECT_EQ(v.asDouble(), 0.1);
+}
+
+TEST(ParseJson, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson(""), std::runtime_error);
+    EXPECT_THROW(parseJson("{"), std::runtime_error);
+    EXPECT_THROW(parseJson("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(parseJson("[1,]"), std::runtime_error);
+    EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(parseJson("1 2"), std::runtime_error); // trailing
+    EXPECT_THROW(parseJson("nope"), std::runtime_error);
+}
+
+TEST(ParseJson, FindAndAt)
+{
+    const JsonValue v = parseJson(R"({"a":1})");
+    EXPECT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("b"), nullptr);
+    EXPECT_THROW(v.at("b"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// CheckpointManifest
+// ---------------------------------------------------------------------
+
+TEST_F(ManifestTest, AppendThenResumeRestoresPayloadBytes)
+{
+    const std::string payload1 = R"({"x":1,"y":"a"})";
+    const std::string payload2 = R"({"x":2})";
+    {
+        CheckpointManifest m(path_, "drv", "ctx", false);
+        EXPECT_EQ(m.loadedCount(), 0u);
+        m.append("digest-one", payload1);
+        m.append("digest-two", payload2);
+        EXPECT_NE(m.find("digest-one"), nullptr);
+    }
+    CheckpointManifest m(path_, "drv", "ctx", true);
+    EXPECT_EQ(m.loadedCount(), 2u);
+    ASSERT_NE(m.find("digest-one"), nullptr);
+    // Byte-exact payload restoration is what makes resumed exports
+    // byte-identical to uninterrupted runs.
+    EXPECT_EQ(*m.find("digest-one"), payload1);
+    EXPECT_EQ(*m.find("digest-two"), payload2);
+    EXPECT_EQ(m.find("digest-missing"), nullptr);
+}
+
+TEST_F(ManifestTest, NonResumeOpenDiscardsExistingRecords)
+{
+    {
+        CheckpointManifest m(path_, "drv", "ctx", false);
+        m.append("d", R"({"x":1})");
+    }
+    CheckpointManifest m(path_, "drv", "ctx", false);
+    EXPECT_EQ(m.loadedCount(), 0u);
+    EXPECT_EQ(m.find("d"), nullptr);
+}
+
+TEST_F(ManifestTest, TornTailIsTruncatedAndOverwritten)
+{
+    {
+        CheckpointManifest m(path_, "drv", "ctx", false);
+        m.append("good", R"({"x":1})");
+    }
+    const std::string durable = slurp(path_);
+    // Simulate a kill mid-append: a record with no trailing newline.
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::app);
+        out << R"({"digest":"torn","payload":{"x":)";
+    }
+    CheckpointManifest m(path_, "drv", "ctx", true);
+    EXPECT_EQ(m.loadedCount(), 1u);
+    EXPECT_NE(m.find("good"), nullptr);
+    EXPECT_EQ(m.find("torn"), nullptr);
+    // The constructor truncated the torn bytes away.
+    EXPECT_EQ(slurp(path_), durable);
+    m.append("next", R"({"x":2})");
+    CheckpointManifest again(path_, "drv", "ctx", true);
+    EXPECT_EQ(again.loadedCount(), 2u);
+}
+
+TEST_F(ManifestTest, CorruptMiddleRecordStopsTheLoadThere)
+{
+    {
+        CheckpointManifest m(path_, "drv", "ctx", false);
+        m.append("one", R"({"x":1})");
+    }
+    {
+        std::ofstream out(path_, std::ios::binary | std::ios::app);
+        out << "not json at all\n";
+        out << R"({"digest":"after","payload":{"x":2}})" << "\n";
+    }
+    // Everything after the first bad line is dropped: the file is an
+    // append-only log, so a corrupt line invalidates its suffix.
+    CheckpointManifest m(path_, "drv", "ctx", true);
+    EXPECT_EQ(m.loadedCount(), 1u);
+    EXPECT_NE(m.find("one"), nullptr);
+    EXPECT_EQ(m.find("after"), nullptr);
+}
+
+TEST_F(ManifestTest, HeaderMismatchStartsFresh)
+{
+    {
+        CheckpointManifest m(path_, "drv", "ctx-old", false);
+        m.append("d", R"({"x":1})");
+    }
+    // Same driver, different context (e.g. LVA_SEEDS changed): stale
+    // results must not be resumed.
+    CheckpointManifest m(path_, "drv", "ctx-new", true);
+    EXPECT_EQ(m.loadedCount(), 0u);
+    EXPECT_EQ(m.find("d"), nullptr);
+
+    // And the fresh manifest is fully usable afterwards.
+    m.append("d2", R"({"x":2})");
+    CheckpointManifest again(path_, "drv", "ctx-new", true);
+    EXPECT_EQ(again.loadedCount(), 1u);
+    EXPECT_NE(again.find("d2"), nullptr);
+}
+
+TEST_F(ManifestTest, MissingFileResumesEmpty)
+{
+    CheckpointManifest m(path_, "drv", "ctx", true);
+    EXPECT_EQ(m.loadedCount(), 0u);
+}
+
+TEST_F(ManifestTest, HeaderLineBindsSchemaDriverContext)
+{
+    { CheckpointManifest m(path_, "mydriver", "mycontext", false); }
+    std::ifstream in(path_);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    const JsonValue v = parseJson(header);
+    EXPECT_EQ(v.at("schema").asString(), manifestSchema());
+    EXPECT_EQ(v.at("driver").asString(), "mydriver");
+    EXPECT_EQ(v.at("context").asString(), "mycontext");
+}
+
+TEST_F(ManifestTest, CreatesParentDirectories)
+{
+    const std::string nested =
+        (dir_ / "a" / "b" / "m.jsonl").string();
+    CheckpointManifest m(nested, "drv", "ctx", false);
+    m.append("d", R"({"x":1})");
+    EXPECT_TRUE(fs::exists(nested));
+}
+
+} // namespace
+} // namespace lva

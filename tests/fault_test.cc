@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness (util/fault):
+ * spec grammar, trigger counting, action behavior, wildcard matching,
+ * and the test-hook arming/disarming path. The 'abort' action is
+ * process-fatal and therefore exercised by sweep_resume_test, which
+ * runs a helper binary, not here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+
+#include "util/fault.hh"
+
+namespace lva {
+namespace {
+
+/** Arms a spec for one test and always disarms on the way out. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setFaultSpecForTest(""); }
+};
+
+TEST_F(FaultTest, ParsesSimpleEntry)
+{
+    const auto plan = parseFaultSpec("sweep.point.2=throw");
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].site, "sweep.point.2");
+    EXPECT_FALSE(plan[0].wildcard);
+    EXPECT_EQ(plan[0].kind, FaultEntry::Kind::Throw);
+    EXPECT_EQ(plan[0].trigger, FaultEntry::Trigger::Always);
+}
+
+TEST_F(FaultTest, ParsesTriggersDelaysAndWildcards)
+{
+    const auto plan = parseFaultSpec(
+        "a=abort@at3,eval.golden.*=delay:50@first2,b=allocfail");
+    ASSERT_EQ(plan.size(), 3u);
+
+    EXPECT_EQ(plan[0].kind, FaultEntry::Kind::Abort);
+    EXPECT_EQ(plan[0].trigger, FaultEntry::Trigger::At);
+    EXPECT_EQ(plan[0].n, 3u);
+
+    EXPECT_EQ(plan[1].site, "eval.golden.");
+    EXPECT_TRUE(plan[1].wildcard);
+    EXPECT_EQ(plan[1].kind, FaultEntry::Kind::Delay);
+    EXPECT_EQ(plan[1].delayMs, 50u);
+    EXPECT_EQ(plan[1].trigger, FaultEntry::Trigger::First);
+    EXPECT_EQ(plan[1].n, 2u);
+
+    EXPECT_EQ(plan[2].kind, FaultEntry::Kind::AllocFail);
+}
+
+TEST_F(FaultTest, EmptySpecAndEmptyItemsYieldEmptyPlan)
+{
+    EXPECT_TRUE(parseFaultSpec("").empty());
+    // Stray separators are tolerated; only non-empty items parse.
+    EXPECT_EQ(parseFaultSpec("a=throw,,b=throw").size(), 2u);
+}
+
+TEST_F(FaultTest, RejectsBadGrammar)
+{
+    // Not site=action.
+    EXPECT_THROW(parseFaultSpec("justasite"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("=throw"), std::invalid_argument);
+    // Unknown action kind / trigger.
+    EXPECT_THROW(parseFaultSpec("a=explode"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("a=throw@sometimes"),
+                 std::invalid_argument);
+    // delay requires ':<ms>'; nothing else accepts one.
+    EXPECT_THROW(parseFaultSpec("a=delay"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("a=throw:5"), std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("a=delay:abc"), std::invalid_argument);
+    // Trigger counts must be sane.
+    EXPECT_THROW(parseFaultSpec("a=throw@first0"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseFaultSpec("a=throw@atx"), std::invalid_argument);
+}
+
+TEST_F(FaultTest, UnarmedSiteIsANoOp)
+{
+    setFaultSpecForTest("");
+    EXPECT_FALSE(faultsArmed());
+    EXPECT_NO_THROW(faultPoint("sweep.point.0"));
+}
+
+TEST_F(FaultTest, ThrowActionRaisesFaultInjectedAtMatchingSiteOnly)
+{
+    setFaultSpecForTest("sweep.point.1=throw");
+    EXPECT_TRUE(faultsArmed());
+    EXPECT_NO_THROW(faultPoint("sweep.point.0"));
+    EXPECT_NO_THROW(faultPoint("sweep.point.10")); // exact, not prefix
+    EXPECT_THROW(faultPoint("sweep.point.1"), FaultInjected);
+    // 'always': every subsequent hit fires too.
+    EXPECT_THROW(faultPoint("sweep.point.1"), FaultInjected);
+}
+
+TEST_F(FaultTest, FirstNFiresExactlyNTimes)
+{
+    setFaultSpecForTest("p=throw@first2");
+    EXPECT_THROW(faultPoint("p"), FaultInjected);
+    EXPECT_THROW(faultPoint("p"), FaultInjected);
+    EXPECT_NO_THROW(faultPoint("p"));
+    EXPECT_NO_THROW(faultPoint("p"));
+}
+
+TEST_F(FaultTest, AtNFiresOnTheNthHitOnly)
+{
+    setFaultSpecForTest("p=throw@at3");
+    EXPECT_NO_THROW(faultPoint("p"));
+    EXPECT_NO_THROW(faultPoint("p"));
+    EXPECT_THROW(faultPoint("p"), FaultInjected);
+    EXPECT_NO_THROW(faultPoint("p"));
+}
+
+TEST_F(FaultTest, WildcardMatchesByPrefix)
+{
+    setFaultSpecForTest("eval.golden.*=throw");
+    EXPECT_THROW(faultPoint("eval.golden.canneal"), FaultInjected);
+    EXPECT_THROW(faultPoint("eval.golden."), FaultInjected);
+    EXPECT_NO_THROW(faultPoint("eval.evaluate.canneal"));
+}
+
+TEST_F(FaultTest, AllocFailRaisesBadAlloc)
+{
+    setFaultSpecForTest("p=allocfail");
+    EXPECT_THROW(faultPoint("p"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, DelayActionSleepsAtLeastTheRequestedTime)
+{
+    setFaultSpecForTest("p=delay:30");
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(faultPoint("p"));
+    const auto elapsed = std::chrono::duration_cast<
+        std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                   t0);
+    EXPECT_GE(elapsed.count(), 30);
+}
+
+TEST_F(FaultTest, HitCountsArePerEntryNotPerSite)
+{
+    // Two entries match the same site; each keeps its own count.
+    setFaultSpecForTest("p=throw@at2,p*=throw@at3");
+    EXPECT_NO_THROW(faultPoint("p"));
+    EXPECT_THROW(faultPoint("p"), FaultInjected); // exact entry at2
+    EXPECT_THROW(faultPoint("p"), FaultInjected); // wildcard at3
+    EXPECT_NO_THROW(faultPoint("p"));
+}
+
+TEST_F(FaultTest, BadSpecFromTestHookLeavesPreviousPlanArmed)
+{
+    setFaultSpecForTest("p=throw");
+    EXPECT_THROW(setFaultSpecForTest("p=bogus"),
+                 std::invalid_argument);
+    EXPECT_THROW(faultPoint("p"), FaultInjected);
+}
+
+TEST_F(FaultTest, ExitCodeIsStable)
+{
+    // Pinned: sweep_resume_test and the CI fault job key on it.
+    EXPECT_EQ(faultExitCode(), 53);
+}
+
+} // namespace
+} // namespace lva

@@ -70,6 +70,44 @@ TEST(SignedSatCounter, ResetClamps)
     EXPECT_EQ(c.value(), 3);
 }
 
+TEST(SignedSatCounter, NegativeStepSaturatesAtTheOppositeRail)
+{
+    // Regression: increment(negative) used to move the clamp test's
+    // rail the wrong way (and could overflow), letting the value
+    // escape [min, max]. Both directions must clamp exactly.
+    auto c = SignedSatCounter::fromBits(4, 5);
+    c.increment(-20);
+    EXPECT_EQ(c.value(), -8);
+    c.decrement(-20); // decrement by a negative: step up
+    EXPECT_EQ(c.value(), 7);
+}
+
+TEST(SignedSatCounter, ExtremeStepsCannotOverflow)
+{
+    // i32 extremes from an i32 starting value: the i64 arithmetic in
+    // the counter must clamp, not wrap.
+    SignedSatCounter c(-2147483647 - 1, 2147483647, 0);
+    c.increment(2147483647);
+    EXPECT_EQ(c.value(), 2147483647);
+    c.increment(2147483647);
+    EXPECT_EQ(c.value(), 2147483647);
+    c.decrement(2147483647);
+    c.decrement(2147483647);
+    c.decrement(2147483647);
+    EXPECT_EQ(c.value(), -2147483647 - 1);
+    c.increment(-2147483647);
+    EXPECT_EQ(c.value(), -2147483647 - 1);
+}
+
+TEST(SignedSatCounter, NegativeStepWithinRangeIsExact)
+{
+    auto c = SignedSatCounter::fromBits(4);
+    c.increment(-3);
+    EXPECT_EQ(c.value(), -3);
+    c.decrement(-5);
+    EXPECT_EQ(c.value(), 2);
+}
+
 TEST(SignedSatCounter, ExplicitRange)
 {
     SignedSatCounter c(-2, 2, 0);

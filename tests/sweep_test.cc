@@ -122,6 +122,28 @@ TEST(SweepRunner, SerialRunnerUsesNoPool)
     EXPECT_NEAR(out[0].normMpki, 1.0, 1e-9);
 }
 
+TEST(SweepRunner, ExplicitJobsOverrideTheEnvironment)
+{
+    // Pinned precedence (DESIGN.md section 10): an explicit nonzero
+    // jobs count always wins. jobs=1 is the exact serial path — no
+    // pool is built even when LVA_JOBS demands more — so a driver can
+    // guarantee the historical serial behavior programmatically.
+    ::setenv("LVA_JOBS", "8", 1);
+    Evaluator eval(1, 0.05);
+    SweepRunner serial(eval, 1);
+    EXPECT_EQ(serial.jobs(), 1u);
+    EXPECT_TRUE(serial.serial());
+
+    SweepRunner two(eval, 2);
+    EXPECT_EQ(two.jobs(), 2u);
+    EXPECT_FALSE(two.serial());
+
+    // Only jobs=0 defers to the environment.
+    SweepRunner deferred(eval, 0);
+    EXPECT_EQ(deferred.jobs(), 8u);
+    ::unsetenv("LVA_JOBS");
+}
+
 TEST(SweepRunner, StatsJsonExportIsJobCountInvariant)
 {
     // The acceptance bar for the registry refactor: the versioned

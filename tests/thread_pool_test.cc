@@ -114,5 +114,35 @@ TEST(ThreadPool, DefaultJobsHonorsEnvironment)
     EXPECT_GE(ThreadPool::defaultJobs(), 1u);
 }
 
+TEST(ThreadPool, DefaultJobsParsesStrictly)
+{
+    // Regression: strtol's permissive prefix parse used to accept
+    // "200abc" as 200 and "0x64" as 0 — trailing characters must
+    // reject the whole value and fall back to hardware concurrency.
+    // (The distinctive magnitudes cannot collide with a real core
+    // count, so inequality proves the value was rejected.)
+    ::setenv("LVA_JOBS", "200abc", 1);
+    EXPECT_NE(ThreadPool::defaultJobs(), 200u);
+    ::setenv("LVA_JOBS", "0x64", 1);
+    EXPECT_NE(ThreadPool::defaultJobs(), 100u);
+    ::setenv("LVA_JOBS", "7.5", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+
+    // Out-of-range and non-positive values are rejected too.
+    ::setenv("LVA_JOBS", "0", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::setenv("LVA_JOBS", "-4", 1);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ::setenv("LVA_JOBS", "300", 1);
+    EXPECT_NE(ThreadPool::defaultJobs(), 300u);
+
+    // Plain decimal (leading zeros included) still parses.
+    ::setenv("LVA_JOBS", "042", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 42u);
+    ::setenv("LVA_JOBS", "256", 1);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 256u);
+    ::unsetenv("LVA_JOBS");
+}
+
 } // namespace
 } // namespace lva

@@ -27,6 +27,12 @@
  *   --prefetch-degree N     (prefetch mode)           [4]
  *   --seeds N               averaging runs            [5]
  *   --scale F               working-set scale         [1.0]
+ *
+ * Robustness (DESIGN.md section 13):
+ *   --checkpoint            record completed points in a manifest
+ *   --resume                skip points already in the manifest
+ *   --retries N             re-attempt a failed point up to N times
+ *   --timeout-ms N          per-point deadline (needs LVA_JOBS >= 2)
  */
 
 #include <cstdio>
@@ -50,6 +56,7 @@ struct Options
     ApproxMemory::Config cfg = Evaluator::baselineLva();
     u32 seeds = 0;
     double scale = 0.0;
+    SweepOptions sweep;
 };
 
 [[noreturn]] void
@@ -62,7 +69,9 @@ usage(const char *argv0)
                  "  [--conf-ints] [--no-conf] [--proportional]\n"
                  "  [--degree N] [--delay N] [--mantissa-drop N]\n"
                  "  [--estimator average|last|stride]\n"
-                 "  [--prefetch-degree N] [--seeds N] [--scale F]\n",
+                 "  [--prefetch-degree N] [--seeds N] [--scale F]\n"
+                 "  [--checkpoint] [--resume] [--retries N]\n"
+                 "  [--timeout-ms N]\n",
                  argv0);
     std::exit(2);
 }
@@ -139,10 +148,21 @@ parse(int argc, char **argv)
             opt.seeds = static_cast<u32>(std::atoi(need(i)));
         } else if (arg == "--scale") {
             opt.scale = std::atof(need(i));
+        } else if (arg == "--checkpoint") {
+            opt.sweep.checkpoint = true;
+        } else if (arg == "--resume") {
+            opt.sweep.resume = true;
+        } else if (arg == "--retries") {
+            opt.sweep.maxAttempts =
+                static_cast<u32>(std::atoi(need(i))) + 1;
+        } else if (arg == "--timeout-ms") {
+            opt.sweep.timeoutMs =
+                static_cast<u64>(std::atoll(need(i)));
         } else {
             usage(argv[0]);
         }
     }
+    opt.sweep.driver = "lva_explore";
     return opt;
 }
 
@@ -180,10 +200,10 @@ main(int argc, char **argv)
         points.push_back({"explore", name, opt.cfg});
 
     SweepRunner runner(eval);
-    const std::vector<EvalResult> results = runner.run(points);
+    const SweepOutcome outcome = runner.runChecked(points, opt.sweep);
 
     for (std::size_t i = 0; i < names.size(); ++i) {
-        const EvalResult &r = results[i];
+        const EvalResult &r = outcome.results[i];
         table.addRow(
             {names[i], fmtDouble(r.stats.valueOf("eval.mpki"), 3),
              fmtDouble(r.stats.valueOf("eval.normMpki"), 3),
@@ -193,7 +213,7 @@ main(int argc, char **argv)
     }
     table.print("results");
     std::printf("wrote %s\n",
-                exportSweepStats("lva_explore", points, results)
+                exportSweepStats("lva_explore", points, outcome)
                     .c_str());
-    return 0;
+    return reportSweepFailures(outcome);
 }

@@ -26,6 +26,7 @@
 
 #include "core/approx_memory.hh"
 #include "eval/evaluator.hh"
+#include "eval/sweep.hh"
 #include "sim/full_system.hh"
 #include "util/stat_registry.hh"
 
@@ -102,9 +103,11 @@ main()
     }
 
     // Derived gauges folded into exported snapshots by the evaluator
-    // ("eval.*") and the static-workload census ("workload.*").
+    // ("eval.*"), the static-workload census ("workload.*") and the
+    // checked sweep runtime ("eval.retries.*", "eval.failures.*").
     appendDefs(rows, evalMetricDefs());
     appendDefs(rows, workloadStaticDefs());
+    appendDefs(rows, sweepRuntimeDefs());
 
     std::sort(rows.begin(), rows.end());
     rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
