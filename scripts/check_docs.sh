@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Validate docs/metrics.md against the registry self-dump, both ways:
-# every documented metric path must exist in a registry (or derived
-# catalog) and every registered path must be documented.
+# Validate the documentation against the code, both ways:
+#
+#   1. docs/metrics.md     catalog markers  <->  lva_stats_catalog dump
+#   2. README.md           knobs markers    <->  "LVA_*" literals in
+#                                               src/ tools/ bench/
+#   3. docs/reproducing.md drivers markers  <->  bench/*.cc basenames
+#
+# Every documented entry must exist in the code and every code entry
+# must be documented; either direction failing fails the script.
 #
 # Usage: scripts/check_docs.sh [path-to-lva_stats_catalog]
 #   (default: build/tools/lva_stats_catalog)
@@ -9,43 +15,71 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CATALOG_BIN="${1:-build/tools/lva_stats_catalog}"
-DOC=docs/metrics.md
 
 if [[ ! -x "$CATALOG_BIN" ]]; then
     echo "check_docs: $CATALOG_BIN not built (cmake --build build)" >&2
     exit 1
 fi
 
-dump="$(mktemp)"
-docpaths="$(mktemp)"
-trap 'rm -f "$dump" "$docpaths"' EXIT
-
-"$CATALOG_BIN" | cut -f1 | LC_ALL=C sort -u > "$dump"
-
-# Documented paths: the first backticked token of each table row
-# between the catalog markers.
-awk '/<!-- catalog:begin -->/{on=1} /<!-- catalog:end -->/{on=0}
-     on && /^\| `/ { split($0, f, "`"); print f[2] }' "$DOC" \
-    | LC_ALL=C sort -u > "$docpaths"
-
 status=0
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
 
-undocumented="$(comm -23 "$dump" "$docpaths")"
-if [[ -n "$undocumented" ]]; then
-    echo "check_docs: registered stats missing from $DOC:" >&2
-    echo "$undocumented" | sed 's/^/  /' >&2
-    status=1
-fi
+# Documented entries: the first backticked token of each table row
+# between the given begin/end markers.
+doc_entries() { # <doc> <marker>
+    awk -v m="$2" \
+        '$0 ~ "<!-- " m ":begin -->" {on=1}
+         $0 ~ "<!-- " m ":end -->"   {on=0}
+         on && /^\| `/ { split($0, f, "`"); print f[2] }' "$1" \
+        | LC_ALL=C sort -u
+}
 
-stale="$(comm -13 "$dump" "$docpaths")"
-if [[ -n "$stale" ]]; then
-    echo "check_docs: $DOC documents paths no registry provides:" >&2
-    echo "$stale" | sed 's/^/  /' >&2
-    status=1
-fi
+check() { # <name> <doc> <code-list-file> <doc-list-file> <what>
+    local name="$1" doc="$2" code="$3" docl="$4" what="$5"
 
-if [[ "$status" -eq 0 ]]; then
-    echo "check_docs: $DOC matches the registry self-dump" \
-         "($(wc -l < "$dump") paths)"
-fi
+    local undocumented stale
+    undocumented="$(comm -23 "$code" "$docl")"
+    if [[ -n "$undocumented" ]]; then
+        echo "check_docs: $what in the code but missing from $doc:" >&2
+        echo "$undocumented" | sed 's/^/  /' >&2
+        status=1
+    fi
+
+    stale="$(comm -13 "$code" "$docl")"
+    if [[ -n "$stale" ]]; then
+        echo "check_docs: $doc documents $what the code does not have:" >&2
+        echo "$stale" | sed 's/^/  /' >&2
+        status=1
+    fi
+
+    if [[ -z "$undocumented" && -z "$stale" ]]; then
+        echo "check_docs: $doc matches ($(wc -l < "$code") $what)"
+    fi
+}
+
+# 1. Metric catalog: registry self-dump vs docs/metrics.md.
+"$CATALOG_BIN" | cut -f1 | LC_ALL=C sort -u > "$workdir/stats.code"
+doc_entries docs/metrics.md catalog > "$workdir/stats.doc"
+check catalog docs/metrics.md "$workdir/stats.code" "$workdir/stats.doc" \
+      "stat paths"
+
+# 2. Environment knobs: every "LVA_*" string literal the sources read
+#    vs the consolidated README table. (Build-time LVA_* CMake options
+#    never appear as string literals in the sources, so the scan stays
+#    runtime-only.)
+grep -rhoE '"LVA_[A-Z_0-9]+"' src tools bench | tr -d '"' \
+    | LC_ALL=C sort -u > "$workdir/knobs.code"
+doc_entries README.md knobs > "$workdir/knobs.doc"
+check knobs README.md "$workdir/knobs.code" "$workdir/knobs.doc" \
+      "environment knobs"
+
+# 3. Bench drivers: every bench/*.cc vs the docs/reproducing.md map.
+for f in bench/*.cc; do
+    basename "$f" .cc
+done | LC_ALL=C sort -u > "$workdir/drivers.code"
+doc_entries docs/reproducing.md drivers > "$workdir/drivers.doc"
+check drivers docs/reproducing.md \
+      "$workdir/drivers.code" "$workdir/drivers.doc" "bench drivers"
+
 exit "$status"

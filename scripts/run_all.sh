@@ -4,7 +4,9 @@
 #   quick: 1 seed, 30% working sets (smoke run) + the static-analysis
 #          gate (scripts/lint.sh) + the sanitizer matrix: full ctest
 #          suite under ASan+UBSan and a ThreadSanitizer build of the
-#          concurrency determinism check
+#          concurrency determinism check + the documentation gates
+#          (scripts/check_docs.sh) + the evaluation-daemon smoke
+#          (scripts/serve_smoke.sh)
 #
 # Parallelism: every bench driver fans its sweep grid out over
 # LVA_JOBS worker threads (default: hardware concurrency). LVA_JOBS=1
@@ -50,8 +52,15 @@ if [[ "$MODE" == "quick" ]]; then
     cmake --build build-tsan --target tsan_sweep_check
     ./build-tsan/tests/tsan_sweep_check
 
-    # docs/metrics.md must match the registry self-dump both ways.
+    # Documentation gates, all two-way: docs/metrics.md vs the
+    # registry self-dump, the README knob table vs the LVA_* literals
+    # in the sources, docs/reproducing.md vs bench/*.cc.
     scripts/check_docs.sh build/tools/lva_stats_catalog
+
+    # Evaluation daemon: served sweeps must be byte-identical to the
+    # direct driver export, with concurrent clients, and SIGTERM must
+    # drain to exit 0 (docs/serving.md).
+    scripts/serve_smoke.sh build
 fi
 
 declare -A BENCH_SECONDS

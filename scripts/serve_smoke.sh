@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Smoke test for the evaluation daemon (docs/serving.md): prove that a
+# sweep submitted through lva_served/lva_client returns the exact bytes
+# the bench driver writes to results/stats/<driver>.json.
+#
+# For LVA_JOBS in {1, 4}:
+#   1. run build/bench/fig5_ghb_error directly (the reference export),
+#   2. start lva_served on an ephemeral port with the same settings,
+#   3. submit the same 28-point sweep from TWO concurrent clients,
+#   4. cmp(1) both served exports against the driver's file,
+#   5. SIGTERM the daemon and require a drained exit 0.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SERVED="$BUILD/tools/lva_served"
+CLIENT="$BUILD/tools/lva_client"
+DRIVER="$BUILD/bench/fig5_ghb_error"
+
+for bin in "$SERVED" "$CLIENT" "$DRIVER"; do
+    if [[ ! -x "$bin" ]]; then
+        echo "serve_smoke: $bin not built (cmake --build $BUILD)" >&2
+        exit 1
+    fi
+done
+
+# Seconds-scale evaluation; identical settings for driver and daemon.
+export LVA_SEEDS=1
+export LVA_SCALE=0.05
+unset LVA_CHECKPOINT LVA_RESUME LVA_FAULT LVA_POINT_TIMEOUT_MS \
+      LVA_RETRIES LVA_TRACE
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+# The exact fig5_ghb_error sweep grid (bench/fig5_ghb_error.cc):
+# every workload x GHB size, baseline config otherwise.
+points="$work/points.json"
+{
+    echo "["
+    sep=""
+    for w in blackscholes bodytrack canneal ferret fluidanimate \
+             swaptions x264; do
+        for g in 0 1 2 4; do
+            printf '%s  {"label": "ghb-%s", "workload": "%s", "config": {"ghb": %s}}' \
+                   "$sep" "$g" "$w" "$g"
+            sep=$',\n'
+        done
+    done
+    echo
+    echo "]"
+} > "$points"
+
+for jobs in 1 4; do
+    echo "serve_smoke: LVA_JOBS=$jobs — direct driver run"
+    LVA_JOBS="$jobs" LVA_RESULTS_DIR="$work/direct$jobs" \
+        "$DRIVER" > /dev/null
+    reference="$work/direct$jobs/stats/fig5_ghb_error.json"
+
+    log="$work/served$jobs.log"
+    LVA_JOBS="$jobs" "$SERVED" --port 0 --workers 2 > "$log" 2>&1 &
+    daemon_pid=$!
+
+    port=""
+    for _ in $(seq 1 100); do
+        port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" 2>/dev/null \
+                | head -1 | cut -d: -f2 || true)"
+        [[ -n "$port" ]] && break
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "serve_smoke: daemon died at startup:" >&2
+            sed 's/^/  /' "$log" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+    if [[ -z "$port" ]]; then
+        echo "serve_smoke: daemon never announced its port" >&2
+        exit 1
+    fi
+
+    echo "serve_smoke: LVA_JOBS=$jobs — two concurrent served sweeps" \
+         "(port $port)"
+    "$CLIENT" --port "$port" sweep --driver fig5_ghb_error \
+        --points "$points" --out "$work/served$jobs.a.json" \
+        2> /dev/null &
+    client_a=$!
+    "$CLIENT" --port "$port" sweep --driver fig5_ghb_error \
+        --points "$points" --out "$work/served$jobs.b.json" \
+        2> /dev/null &
+    client_b=$!
+    wait "$client_a"
+    wait "$client_b"
+
+    cmp "$reference" "$work/served$jobs.a.json"
+    cmp "$reference" "$work/served$jobs.b.json"
+    echo "serve_smoke: LVA_JOBS=$jobs — served exports byte-identical"
+
+    kill -TERM "$daemon_pid"
+    rc=0
+    wait "$daemon_pid" || rc=$?
+    daemon_pid=""
+    if [[ "$rc" -ne 0 ]]; then
+        echo "serve_smoke: daemon exited $rc on SIGTERM (want 0):" >&2
+        sed 's/^/  /' "$log" >&2
+        exit 1
+    fi
+    echo "serve_smoke: LVA_JOBS=$jobs — SIGTERM drained, exit 0"
+done
+
+echo "serve_smoke: OK"

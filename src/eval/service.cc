@@ -1,0 +1,582 @@
+#include "eval/service.hh"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/stats_json.hh"
+
+namespace lva {
+namespace {
+
+/** Positive-integer environment knob; @p fallback when unset/bad. */
+u64
+envU64(const char *name, u64 fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+        lva_warn("ignoring malformed %s=\"%s\"", name, env);
+        return fallback;
+    }
+    return static_cast<u64>(v);
+}
+
+std::string
+errorResponse(const std::string &message)
+{
+    return std::string("{\"schema\":") + jsonQuote(rpcSchema()) +
+           ",\"ok\":false,\"error\":" + jsonQuote(message) + "}";
+}
+
+/** "{\"schema\":\"lva-rpc-v1\",\"ok\":true,\"op\":<op>" — callers
+ *  append further members and the closing brace. */
+std::string
+okPrefix(const std::string &op)
+{
+    return std::string("{\"schema\":") + jsonQuote(rpcSchema()) +
+           ",\"ok\":true,\"op\":" + jsonQuote(op);
+}
+
+u32
+u32Field(const std::string &key, const JsonValue &value)
+{
+    const u64 v = value.asU64();
+    if (v > std::numeric_limits<u32>::max())
+        throw std::runtime_error("config: \"" + key +
+                                 "\" out of range");
+    return static_cast<u32>(v);
+}
+
+bool
+boolField(const std::string &key, const JsonValue &value)
+{
+    if (value.type != JsonValue::Type::Bool)
+        throw std::runtime_error("config: \"" + key +
+                                 "\" must be true or false");
+    return value.boolean;
+}
+
+MemMode
+modeFromName(const std::string &name)
+{
+    if (name == "lva")
+        return MemMode::Lva;
+    if (name == "lvp")
+        return MemMode::Lvp;
+    if (name == "prefetch")
+        return MemMode::Prefetch;
+    if (name == "precise")
+        return MemMode::Precise;
+    throw std::runtime_error("config: unknown mode \"" + name + "\"");
+}
+
+Estimator
+estimatorFromName(const std::string &name)
+{
+    if (name == "average")
+        return Estimator::Average;
+    if (name == "last")
+        return Estimator::Last;
+    if (name == "stride")
+        return Estimator::Stride;
+    throw std::runtime_error("config: unknown estimator \"" + name +
+                             "\"");
+}
+
+} // namespace
+
+const char *
+rpcSchema()
+{
+    return "lva-rpc-v1";
+}
+
+std::string
+busyResponse()
+{
+    return std::string("{\"schema\":") + jsonQuote(rpcSchema()) +
+           ",\"ok\":false,\"busy\":true,"
+           "\"error\":\"server at capacity\"}";
+}
+
+ServeOptions
+resolveServeOptions(ServeOptions opts)
+{
+    if (opts.port == 0)
+        opts.port = static_cast<u16>(envU64("LVA_SERVE_PORT", 0));
+    if (opts.workers == 0)
+        opts.workers =
+            static_cast<u32>(envU64("LVA_SERVE_WORKERS", 0));
+    if (opts.workers == 0)
+        opts.workers = 2;
+    if (opts.queueCap == 0)
+        opts.queueCap =
+            static_cast<u32>(envU64("LVA_SERVE_QUEUE", 0));
+    if (opts.queueCap == 0)
+        opts.queueCap = 16;
+    if (opts.deadlineMs == 0)
+        opts.deadlineMs = envU64("LVA_SERVE_DEADLINE_MS", 0);
+    if (opts.deadlineMs == 0)
+        opts.deadlineMs = 10000;
+    if (opts.maxAttempts == 0)
+        opts.maxAttempts =
+            1 + static_cast<u32>(envU64("LVA_SERVE_RETRIES", 0));
+    return opts;
+}
+
+ServeStats::ServeStats()
+    : connections_(registry_.counter(
+          "serve.connections", "client connections accepted",
+          "connections")),
+      rejects_(registry_.counter(
+          "serve.rejects",
+          "connections refused with a busy response at queue capacity",
+          "connections")),
+      requests_(registry_.counter("serve.requests",
+                                  "request frames received",
+                                  "requests")),
+      errors_(registry_.counter("serve.errors",
+                                "requests answered ok:false",
+                                "requests")),
+      failures_(registry_.counter(
+          "serve.failures",
+          "requests still failing after every isolated attempt",
+          "requests")),
+      retries_(registry_.counter(
+          "serve.retries", "extra request attempts consumed by retry",
+          "attempts")),
+      queueDepth_(registry_.gauge(
+          "serve.queueDepth",
+          "accepted connections waiting for a handler", "connections"))
+{
+}
+
+void
+ServeStats::onConnection()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.inc();
+}
+
+void
+ServeStats::onReject()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rejects_.inc();
+}
+
+void
+ServeStats::onRequest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    requests_.inc();
+}
+
+void
+ServeStats::onError()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_.inc();
+}
+
+void
+ServeStats::onFailure()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures_.inc();
+}
+
+void
+ServeStats::onRetries(u32 extra)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    retries_.inc(extra);
+}
+
+void
+ServeStats::setQueueDepth(std::size_t depth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    queueDepth_.set(static_cast<double>(depth));
+}
+
+StatSnapshot
+ServeStats::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return registry_.snapshot();
+}
+
+ApproxMemory::Config
+configFromJson(const JsonValue &cfg)
+{
+    if (!cfg.isObject())
+        throw std::runtime_error("config must be a JSON object");
+
+    // "base" picks the starting configuration regardless of where it
+    // appears in the object, so {"ghb":2,"base":"precise"} does not
+    // silently drop the ghb override.
+    ApproxMemory::Config out = Evaluator::baselineLva();
+    if (const JsonValue *base = cfg.find("base")) {
+        const std::string &b = base->asString();
+        if (b == "precise")
+            out = Evaluator::preciseConfig();
+        else if (b != "baseline")
+            throw std::runtime_error("config: unknown base \"" + b +
+                                     "\"");
+    }
+
+    for (const auto &[key, value] : cfg.members) {
+        if (key == "base") {
+            // handled above
+        } else if (key == "mode") {
+            out.mode = modeFromName(value.asString());
+        } else if (key == "threads") {
+            out.threads = u32Field(key, value);
+        } else if (key == "ghb") {
+            out.approx.ghbEntries = u32Field(key, value);
+        } else if (key == "lhb") {
+            out.approx.lhbEntries = u32Field(key, value);
+        } else if (key == "table") {
+            out.approx.tableEntries = u32Field(key, value);
+        } else if (key == "tableAssoc") {
+            out.approx.tableAssoc = u32Field(key, value);
+        } else if (key == "confidenceBits") {
+            out.approx.confidenceBits = u32Field(key, value);
+        } else if (key == "window") {
+            if (value.type == JsonValue::Type::String) {
+                if (value.asString() != "inf")
+                    throw std::runtime_error(
+                        "config: window must be a number or \"inf\"");
+                out.approx.confidenceWindow =
+                    ApproximatorConfig::infiniteWindow;
+            } else {
+                out.approx.confidenceWindow = value.asDouble();
+            }
+        } else if (key == "confInts") {
+            out.approx.confidenceForInts = boolField(key, value);
+        } else if (key == "noConf") {
+            out.approx.confidenceDisabled = boolField(key, value);
+        } else if (key == "proportional") {
+            out.approx.proportionalConfidence = boolField(key, value);
+        } else if (key == "degree") {
+            out.approx.approxDegree = u32Field(key, value);
+        } else if (key == "delay") {
+            out.approx.valueDelay = u32Field(key, value);
+        } else if (key == "tagBits") {
+            out.approx.tagBits = u32Field(key, value);
+        } else if (key == "mantissaDrop") {
+            out.approx.mantissaDropBits = u32Field(key, value);
+        } else if (key == "estimator") {
+            out.approx.estimator = estimatorFromName(value.asString());
+        } else if (key == "prefetchDegree") {
+            out.prefetch.degree = u32Field(key, value);
+        } else {
+            throw std::runtime_error("config: unknown key \"" + key +
+                                     "\"");
+        }
+    }
+    return out;
+}
+
+std::vector<SweepPoint>
+sweepPointsFromJson(const JsonValue &points)
+{
+    if (!points.isArray())
+        throw std::runtime_error("points must be a JSON array");
+    std::vector<SweepPoint> out;
+    out.reserve(points.items.size());
+    for (std::size_t i = 0; i < points.items.size(); ++i) {
+        const JsonValue &p = points.items[i];
+        const std::string at = "points[" + std::to_string(i) + "]";
+        if (!p.isObject())
+            throw std::runtime_error(at + " must be a JSON object");
+        for (const auto &[key, value] : p.members) {
+            (void)value;
+            if (key != "label" && key != "workload" && key != "config")
+                throw std::runtime_error(at + ": unknown key \"" +
+                                         key + "\"");
+        }
+        SweepPoint sp;
+        sp.label = p.at("label").asString();
+        sp.workload = p.at("workload").asString();
+        sp.config = Evaluator::baselineLva();
+        if (const JsonValue *cfg = p.find("config"))
+            sp.config = configFromJson(*cfg);
+        out.push_back(std::move(sp));
+    }
+    return out;
+}
+
+EvalService::EvalService(u32 seeds, double scale,
+                         const ServeOptions &opts)
+    : eval_(seeds, scale), runner_(eval_, opts.jobs),
+      maxAttempts_(resolveServeOptions(opts).maxAttempts)
+{
+    // The batch checkpoint knobs make no sense per request (a daemon
+    // has no single manifest identity, and resuming someone else's
+    // manifest mid-service would return stale results), so the
+    // service drops them before any request can resolve SweepOptions.
+    // Runs before the serve loop spawns threads, so the unsetenv is
+    // race-free.
+    ::unsetenv("LVA_CHECKPOINT");
+    ::unsetenv("LVA_RESUME");
+}
+
+std::string
+EvalService::handle(const std::string &requestJson)
+{
+    stats_.onRequest();
+    const u64 index = nextRequest_.fetch_add(1);
+
+    JsonValue req;
+    std::string op;
+    try {
+        req = parseJson(requestJson);
+        if (!req.isObject())
+            throw std::runtime_error(
+                "request must be a JSON object");
+        if (const JsonValue *schema = req.find("schema")) {
+            if (schema->asString() != rpcSchema())
+                throw std::runtime_error("unsupported schema \"" +
+                                         schema->asString() + "\"");
+        }
+        op = req.at("op").asString();
+    } catch (const std::exception &e) {
+        stats_.onError();
+        return errorResponse(std::string("bad request: ") + e.what());
+    }
+
+    // Same retry discipline as a sweep point (DESIGN.md section 13):
+    // each attempt runs under failure isolation and hits the request's
+    // fault site, so LVA_FAULT can inject transient or permanent
+    // failures per request, deterministically for any worker count.
+    const std::string site = "serve.request." + std::to_string(index);
+    std::string last_error;
+    for (u32 attempt = 1; attempt <= maxAttempts_; ++attempt) {
+        if (attempt > 1)
+            stats_.onRetries(1);
+        try {
+            ScopedFailureIsolation isolate;
+            faultPoint(site);
+            return dispatch(req, op);
+        } catch (const std::exception &e) {
+            last_error = e.what();
+        } catch (...) {
+            last_error = "unknown error";
+        }
+    }
+    stats_.onFailure();
+    stats_.onError();
+    return errorResponse(op + ": " + last_error);
+}
+
+std::string
+EvalService::dispatch(const JsonValue &req, const std::string &op)
+{
+    if (op == "ping")
+        return handlePing();
+    if (op == "stats")
+        return handleStats();
+    if (op == "shutdown")
+        return handleShutdown();
+    if (op == "eval")
+        return handleEval(req);
+    if (op == "sweep")
+        return handleSweep(req);
+    throw std::runtime_error("unknown op \"" + op + "\"");
+}
+
+std::string
+EvalService::handlePing() const
+{
+    return okPrefix("ping") +
+           ",\"jobs\":" + std::to_string(runner_.jobs()) +
+           ",\"seeds\":" + std::to_string(eval_.seeds()) +
+           ",\"scale\":" + jsonDouble(eval_.scale()) + "}";
+}
+
+std::string
+EvalService::handleStats()
+{
+    return okPrefix("stats") +
+           ",\"serve\":" + snapshotToJson(stats_.snapshot()) + "}";
+}
+
+std::string
+EvalService::handleShutdown()
+{
+    shutdown_.store(true);
+    return okPrefix("shutdown") + ",\"draining\":true}";
+}
+
+std::string
+EvalService::handleEval(const JsonValue &req)
+{
+    const std::string workload = req.at("workload").asString();
+    ApproxMemory::Config cfg = Evaluator::baselineLva();
+    if (const JsonValue *c = req.find("config"))
+        cfg = configFromJson(*c);
+
+    const EvalResult r = eval_.evaluate(workload, cfg);
+    return okPrefix("eval") +
+           ",\"workload\":" + jsonQuote(workload) +
+           ",\"result\":{\"preciseMpki\":" + jsonDouble(r.preciseMpki) +
+           ",\"mpki\":" + jsonDouble(r.mpki) +
+           ",\"normMpki\":" + jsonDouble(r.normMpki) +
+           ",\"normFetches\":" + jsonDouble(r.normFetches) +
+           ",\"coverage\":" + jsonDouble(r.coverage) +
+           ",\"outputError\":" + jsonDouble(r.outputError) +
+           ",\"instrVariation\":" + jsonDouble(r.instrVariation) +
+           "}}";
+}
+
+std::string
+EvalService::handleSweep(const JsonValue &req)
+{
+    const std::string driver = req.at("driver").asString();
+    if (driver.empty())
+        throw std::runtime_error("sweep: driver must be non-empty");
+    const std::vector<SweepPoint> points =
+        sweepPointsFromJson(req.at("points"));
+    if (points.empty())
+        throw std::runtime_error("sweep: no points");
+
+    SweepOptions opts;
+    opts.driver = driver;
+    const SweepOutcome outcome = runner_.runChecked(points, opts);
+
+    // The export travels inside the response as a quoted string; the
+    // client unescapes it back to the exact bytes the driver's
+    // exportSweepStats would have written to results/stats/.
+    return okPrefix("sweep") + ",\"driver\":" + jsonQuote(driver) +
+           ",\"points\":" + std::to_string(points.size()) +
+           ",\"failures\":" + std::to_string(outcome.failures.size()) +
+           ",\"resumed\":" + std::to_string(outcome.resumed) +
+           ",\"export\":" +
+           jsonQuote(renderSweepStats(driver, points, outcome)) + "}";
+}
+
+ServeLoop::ServeLoop(EvalService &service, const ServeOptions &opts)
+    : service_(service), opts_(resolveServeOptions(opts)),
+      listener_(opts_.port)
+{
+}
+
+ServeLoop::~ServeLoop()
+{
+    requestStop();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : handlers_)
+        if (t.joinable())
+            t.join();
+}
+
+bool
+ServeLoop::stopping() const
+{
+    return stop_.load() || service_.shutdownRequested();
+}
+
+void
+ServeLoop::run()
+{
+    handlers_.reserve(opts_.workers);
+    for (u32 i = 0; i < opts_.workers; ++i)
+        handlers_.emplace_back([this] { handlerMain(); });
+
+    while (!stopping()) {
+        TcpStream conn;
+        try {
+            faultPoint("serve.accept");
+            // Short poll so the stop flag is observed promptly even
+            // with no traffic (SIGTERM must drain, not hang).
+            conn = listener_.acceptOne(200);
+        } catch (const std::exception &e) {
+            lva_warn("serve: accept: %s", e.what());
+            continue;
+        }
+        if (!conn.valid())
+            continue; // poll tick: re-check the stop flag
+
+        service_.stats().onConnection();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (queue_.size() >= opts_.queueCap) {
+                lock.unlock();
+                service_.stats().onReject();
+                try {
+                    // Best-effort: a client gone before the busy
+                    // frame lands is not the server's problem.
+                    writeFrame(conn, busyResponse(), 1000);
+                } catch (const std::exception &) {
+                }
+                continue;
+            }
+            queue_.push_back(std::move(conn));
+            service_.stats().setQueueDepth(queue_.size());
+        }
+        cv_.notify_one();
+    }
+
+    // Drain: stop accepting, let the handlers finish every queued
+    // connection's current request, then return.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : handlers_)
+        t.join();
+    handlers_.clear();
+}
+
+void
+ServeLoop::handlerMain()
+{
+    for (;;) {
+        TcpStream conn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return closed_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // closed and drained
+            conn = std::move(queue_.front());
+            queue_.pop_front();
+            service_.stats().setQueueDepth(queue_.size());
+        }
+        handleConnection(std::move(conn));
+    }
+}
+
+void
+ServeLoop::handleConnection(TcpStream conn)
+{
+    try {
+        std::string request;
+        while (readFrame(conn, request, opts_.deadlineMs)) {
+            writeFrame(conn, service_.handle(request),
+                       opts_.deadlineMs);
+            if (stopping())
+                break; // drain: finish this request, take no more
+        }
+    } catch (const std::exception &e) {
+        // A mid-request disconnect, a torn frame, or a wire deadline
+        // ends this connection only; the daemon keeps serving.
+        lva_warn("serve: connection: %s", e.what());
+    }
+}
+
+} // namespace lva

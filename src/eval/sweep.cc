@@ -589,10 +589,11 @@ decodeEvalResult(const JsonValue &payload)
     return r;
 }
 
-std::string
-exportSweepStats(const std::string &driver,
-                 const std::vector<SweepPoint> &points,
-                 const std::vector<EvalResult> &results)
+namespace {
+
+std::vector<NamedSnapshot>
+namedSnapshots(const std::vector<SweepPoint> &points,
+               const std::vector<EvalResult> &results)
 {
     lva_assert(points.size() == results.size(),
                "point/result count mismatch: %zu vs %zu",
@@ -602,20 +603,21 @@ exportSweepStats(const std::string &driver,
     for (std::size_t i = 0; i < points.size(); ++i)
         snaps.push_back(
             {points[i].label, points[i].workload, results[i].stats});
-    return writeStatsJson(driver, snaps);
+    return snaps;
 }
 
-std::string
-exportSweepStats(const std::string &driver,
-                 const std::vector<SweepPoint> &points,
-                 const SweepOutcome &outcome)
+/**
+ * Completed points only: a failed point's placeholder snapshot would
+ * export NaN gauges as real data, so failures are listed in the
+ * structured "failures" section instead.
+ */
+std::vector<NamedSnapshot>
+namedSnapshots(const std::vector<SweepPoint> &points,
+               const SweepOutcome &outcome)
 {
     lva_assert(points.size() == outcome.results.size(),
                "point/result count mismatch: %zu vs %zu",
                points.size(), outcome.results.size());
-    // Completed points only: a failed point's placeholder snapshot
-    // would export NaN gauges as real data, so failures are listed in
-    // the structured "failures" section instead.
     std::vector<NamedSnapshot> snaps;
     snaps.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -624,7 +626,43 @@ exportSweepStats(const std::string &driver,
         snaps.push_back({points[i].label, points[i].workload,
                          outcome.results[i].stats});
     }
-    return writeStatsJson(driver, snaps, outcome.failures);
+    return snaps;
+}
+
+} // namespace
+
+std::string
+renderSweepStats(const std::string &driver,
+                 const std::vector<SweepPoint> &points,
+                 const std::vector<EvalResult> &results)
+{
+    return renderStatsJson(driver, namedSnapshots(points, results));
+}
+
+std::string
+renderSweepStats(const std::string &driver,
+                 const std::vector<SweepPoint> &points,
+                 const SweepOutcome &outcome)
+{
+    return renderStatsJson(driver, namedSnapshots(points, outcome),
+                           outcome.failures);
+}
+
+std::string
+exportSweepStats(const std::string &driver,
+                 const std::vector<SweepPoint> &points,
+                 const std::vector<EvalResult> &results)
+{
+    return writeStatsJson(driver, namedSnapshots(points, results));
+}
+
+std::string
+exportSweepStats(const std::string &driver,
+                 const std::vector<SweepPoint> &points,
+                 const SweepOutcome &outcome)
+{
+    return writeStatsJson(driver, namedSnapshots(points, outcome),
+                          outcome.failures);
 }
 
 } // namespace lva

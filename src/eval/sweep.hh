@@ -396,6 +396,22 @@ std::string encodeEvalResult(const EvalResult &result);
 EvalResult decodeEvalResult(const JsonValue &payload);
 
 /**
+ * Render the versioned stats export for a completed sweep as a byte
+ * string — completed points' labelled snapshots in submission order
+ * plus (for the outcome overload) a "failures" section for every
+ * isolated point. These are exactly the bytes exportSweepStats
+ * writes to disk, exposed separately so the evaluation service
+ * (docs/serving.md) can stream a byte-identical export back to a
+ * client without touching the results tree.
+ */
+std::string renderSweepStats(const std::string &driver,
+                             const std::vector<SweepPoint> &points,
+                             const std::vector<EvalResult> &results);
+std::string renderSweepStats(const std::string &driver,
+                             const std::vector<SweepPoint> &points,
+                             const SweepOutcome &outcome);
+
+/**
  * Write the versioned stats JSON export for a completed sweep to
  * "<resultsDir()>/stats/<driver>.json": one labelled snapshot per
  * point, in submission order. Because results come back in submission

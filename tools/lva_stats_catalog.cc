@@ -26,6 +26,7 @@
 
 #include "core/approx_memory.hh"
 #include "eval/evaluator.hh"
+#include "eval/service.hh"
 #include "eval/sweep.hh"
 #include "sim/full_system.hh"
 #include "util/stat_registry.hh"
@@ -101,6 +102,10 @@ main()
         const FullSystemSim lva_sim(lva_cfg);
         appendSnapshot(rows, lva_sim.registry().snapshot());
     }
+
+    // The evaluation daemon's process-wide serving subtree
+    // ("serve.*", exported by the lva-rpc-v1 `stats` op).
+    appendSnapshot(rows, ServeStats().snapshot());
 
     // Derived gauges folded into exported snapshots by the evaluator
     // ("eval.*"), the static-workload census ("workload.*") and the
