@@ -2,7 +2,8 @@
  * @file
  * google-benchmark microbenchmarks of the approximator data path:
  * lookup+generate throughput across GHB sizes, training throughput,
- * and the idealized LVP baseline for comparison.
+ * steady state on a fully trained table, and the idealized LVP
+ * baseline for comparison.
  */
 
 #include <benchmark/benchmark.h>
@@ -71,6 +72,48 @@ BM_ApproximatorDegree(benchmark::State &state)
     state.SetItemsProcessed(static_cast<i64>(state.iterations()));
 }
 BENCHMARK(BM_ApproximatorDegree)->Arg(0)->Arg(16);
+
+/**
+ * Steady state on a fully trained table: a fixed working set of load
+ * sites is driven to confident before timing, so the measured loop is
+ * the approximate-hit fast path — hash, probe, memoized estimate —
+ * with training only on the confidence-window misses the value walk
+ * provokes. This is the regime the sweeps spend most of their time
+ * in, and the one the estimate cache targets.
+ */
+void
+BM_ApproximatorTrainedSteadyState(benchmark::State &state)
+{
+    ApproximatorConfig cfg = configWithGhb(2);
+    cfg.approxDegree = 2;
+    LoadValueApproximator lva(cfg);
+    Rng rng(7);
+
+    constexpr u32 kSites = 64;
+    double walk[kSites];
+    for (u32 s = 0; s < kSites; ++s)
+        walk[s] = 100.0 + s;
+
+    const auto step = [&](u32 s) {
+        walk[s] += (static_cast<double>(rng.below(2001)) - 1000.0) /
+                   997'000.0; // tiny drift: stays inside the window
+        return Value::fromDouble(walk[s]);
+    };
+
+    // Train to confidence before the timed region.
+    for (u32 round = 0; round < 64; ++round)
+        for (u32 s = 0; s < kSites; ++s)
+            benchmark::DoNotOptimize(
+                lva.onMiss(0x400 + 4 * s, step(s)));
+
+    u64 i = 0;
+    for (auto _ : state) {
+        const u32 s = static_cast<u32>(i++ % kSites);
+        benchmark::DoNotOptimize(lva.onMiss(0x400 + 4 * s, step(s)));
+    }
+    state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_ApproximatorTrainedSteadyState);
 
 void
 BM_IdealizedLvpMiss(benchmark::State &state)

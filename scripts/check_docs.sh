@@ -5,6 +5,8 @@
 #   2. README.md           knobs markers    <->  "LVA_*" literals in
 #                                               src/ tools/ bench/
 #   3. docs/reproducing.md drivers markers  <->  bench/*.cc basenames
+#   4. docs/performance.md hotpath markers  <->  sources fenced with
+#                                               "lva-hot-path: begin"
 #
 # Every documented entry must exist in the code and every code entry
 # must be documented; either direction failing fails the script.
@@ -81,5 +83,17 @@ done | LC_ALL=C sort -u > "$workdir/drivers.code"
 doc_entries docs/reproducing.md drivers > "$workdir/drivers.doc"
 check drivers docs/reproducing.md \
       "$workdir/drivers.code" "$workdir/drivers.doc" "bench drivers"
+
+# 4. Hot-path fences: every source with an "lva-hot-path: begin"
+#    marker vs the fenced-file table in docs/performance.md, so the
+#    lint-enforced no-allocation zones and their documentation cannot
+#    drift apart in either direction.
+# Whole-line comments only, mirroring the lint rule's parser: the
+# marker text also appears in the rule's own string literals.
+grep -rlE '^[[:space:]]*//.*lva-hot-path: begin' src tools bench \
+    2>/dev/null | LC_ALL=C sort -u > "$workdir/hotpath.code"
+doc_entries docs/performance.md hotpath > "$workdir/hotpath.doc"
+check hotpath docs/performance.md \
+      "$workdir/hotpath.code" "$workdir/hotpath.doc" "hot-path fences"
 
 exit "$status"

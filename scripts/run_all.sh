@@ -88,6 +88,15 @@ for b in build/bench/*; do
     BENCH_ORDER+=("$name")
 done
 
+# Hot-path perf trajectory (docs/performance.md): the hotpath_loads
+# driver just ran in the loop above and wrote its loads/sec +
+# value-digest report; promote it to the repo root so the trajectory
+# is versioned PR over PR.
+if [[ -f results/hotpath_loads.json ]]; then
+    cp results/hotpath_loads.json BENCH_hotpath.json
+    echo "wrote BENCH_hotpath.json"
+fi
+
 mkdir -p results
 {
     echo "{"

@@ -60,7 +60,8 @@ LaneCounters::value() const
     return m;
 }
 
-ApproxMemory::ApproxMemory(const Config &config) : config_(config)
+ApproxMemory::ApproxMemory(const Config &config)
+    : MemoryBackend(BackendKind::Approx), config_(config)
 {
     lva_assert(config.threads > 0, "need at least one thread");
     lanes_.resize(config.threads);
@@ -103,10 +104,12 @@ ApproxMemory::laneFor(ThreadId tid) const
     return lanes_[tid];
 }
 
+// lva-hot-path: begin (per-load fast path; see docs/performance.md)
+
 Value
-ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
-                   const Value &precise, bool approximable,
-                   bool dependent)
+ApproxMemory::loadDirect(ThreadId tid, LoadSiteId pc, Addr addr,
+                         const Value &precise, bool approximable,
+                         bool dependent)
 {
     (void)dependent; // functional simulation: timing-only property
     Lane &lane = laneFor(tid);
@@ -133,7 +136,7 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
     if (lane.lva && approximable) {
         const MissResponse resp = lane.lva->onMiss(pc, precise);
         if (resp.fetch) {
-            lane.cache->insert(addr);
+            lane.cache->fill(addr);
             m.fetches.inc();
         }
         if (resp.approximated) {
@@ -149,7 +152,7 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
     // --- Idealized LVP: always fetches; oracle hides correct ones.
     if (lane.lvp && approximable) {
         const bool correct = lane.lvp->onMiss(pc, precise);
-        lane.cache->insert(addr);
+        lane.cache->fill(addr);
         m.fetches.inc();
         if (correct) {
             m.approxLoads.inc();
@@ -165,11 +168,11 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
     // (paper section VI-D).
     if (lane.prefetcher) {
         m.effectiveMisses.inc();
-        lane.cache->insert(addr);
+        lane.cache->fill(addr);
         m.fetches.inc();
         for (const Addr pf : lane.prefetcher->onMiss(pc, addr)) {
             if (!lane.cache->probe(pf)) {
-                lane.cache->insert(pf);
+                lane.cache->fill(pf);
                 m.fetches.inc();
             }
         }
@@ -178,10 +181,68 @@ ApproxMemory::load(ThreadId tid, LoadSiteId pc, Addr addr,
 
     // --- Precise baseline (or non-annotated load under LVA/LVP).
     m.effectiveMisses.inc();
-    lane.cache->insert(addr);
+    lane.cache->fill(addr);
     m.fetches.inc();
     return precise;
 }
+
+void
+ApproxMemory::loadManyDirect(const LoadRequest *reqs, Value *out,
+                             u32 n)
+{
+    for (u32 i = 0; i < n; ++i) {
+        const LoadRequest &r = reqs[i];
+        out[i] = loadDirect(r.tid, r.pc, r.addr, r.precise,
+                            r.approximable, r.dependent);
+    }
+}
+
+/**
+ * The sealed dispatchers live in this translation unit, next to
+ * loadDirect, so the compiler inlines the ApproxMemory fast path into
+ * them: the common per-load flow is one direct (non-virtual) call from
+ * the workload, with no indirect branch. Generic backends take the
+ * historical virtual route.
+ */
+Value
+MemoryBackend::load(ThreadId tid, LoadSiteId pc, Addr addr,
+                    const Value &precise, bool approximable,
+                    bool dependent)
+{
+    switch (kind()) {
+      case BackendKind::Approx:
+        return static_cast<ApproxMemory *>(this)->loadDirect(
+            tid, pc, addr, precise, approximable, dependent);
+      case BackendKind::Null:
+        return precise;
+      case BackendKind::Generic:
+        break;
+    }
+    return loadVirtual(tid, pc, addr, precise, approximable, dependent);
+}
+
+void
+MemoryBackend::loadMany(const LoadRequest *reqs, Value *out, u32 n)
+{
+    switch (kind()) {
+      case BackendKind::Approx:
+        static_cast<ApproxMemory *>(this)->loadManyDirect(reqs, out, n);
+        return;
+      case BackendKind::Null:
+        for (u32 i = 0; i < n; ++i)
+            out[i] = reqs[i].precise;
+        return;
+      case BackendKind::Generic:
+        break;
+    }
+    for (u32 i = 0; i < n; ++i) {
+        const LoadRequest &r = reqs[i];
+        out[i] = loadVirtual(r.tid, r.pc, r.addr, r.precise,
+                             r.approximable, r.dependent);
+    }
+}
+
+// lva-hot-path: end
 
 void
 ApproxMemory::store(ThreadId tid, LoadSiteId pc, Addr addr)
@@ -196,7 +257,7 @@ ApproxMemory::store(ThreadId tid, LoadSiteId pc, Addr addr)
     // path (paper section V-A) and never approximated, but they do
     // fetch blocks.
     if (!lane.cache->access(addr, /*is_write=*/true)) {
-        lane.cache->insert(addr, /*is_write=*/true);
+        lane.cache->fill(addr, /*is_write=*/true);
         m.fetches.inc();
     }
 }

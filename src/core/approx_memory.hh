@@ -118,10 +118,19 @@ class ApproxMemory : public MemoryBackend
 
     explicit ApproxMemory(const Config &config);
 
+    /**
+     * One load, called directly (no dispatch). MemoryBackend::load
+     * routes BackendKind::Approx here; both entries are defined in
+     * approx_memory.cc so the dispatcher inlines this body.
+     */
+    Value loadDirect(ThreadId tid, LoadSiteId pc, Addr addr,
+                     const Value &precise, bool approximable,
+                     bool dependent = false);
+
+    /** A run of loads, in array order (see MemoryBackend::loadMany). */
+    void loadManyDirect(const LoadRequest *reqs, Value *out, u32 n);
+
     // MemoryBackend interface
-    Value load(ThreadId tid, LoadSiteId pc, Addr addr,
-               const Value &precise, bool approximable,
-               bool dependent = false) override;
     void store(ThreadId tid, LoadSiteId pc, Addr addr) override;
     void tickInstructions(ThreadId tid, u64 n) override;
     void finish() override;
@@ -149,6 +158,16 @@ class ApproxMemory : public MemoryBackend
     const LoadValueApproximator &approximatorFor(ThreadId tid) const;
     const IdealizedLvp &lvpFor(ThreadId tid) const;
     const GhbPrefetcher &prefetcherFor(ThreadId tid) const;
+
+  protected:
+    Value
+    loadVirtual(ThreadId tid, LoadSiteId pc, Addr addr,
+                const Value &precise, bool approximable,
+                bool dependent) override
+    {
+        return loadDirect(tid, pc, addr, precise, approximable,
+                          dependent);
+    }
 
   private:
     struct Lane

@@ -99,60 +99,96 @@ LoadValueApproximator::LoadValueApproximator(
                config.tableEntries % config.tableAssoc == 0,
                "associativity %u must divide %u entries",
                config.tableAssoc, config.tableEntries);
-    table_.reserve(config.tableEntries);
-    for (u32 i = 0; i < config.tableEntries; ++i)
-        table_.emplace_back(config);
+    const u32 entries = config.tableEntries;
+    valid_.assign(entries, 0);
+    tags_.assign(entries, 0);
+    lastUse_.assign(entries, 0);
+    conf_.assign(entries,
+                 SignedSatCounter::fromBits(config.confidenceBits));
+    degree_.assign(entries, DegreeCounter(config.approxDegree));
+    lhbValues_.assign(u64(entries) * config.lhbEntries, Value{});
+    lhbHead_.assign(entries, 0);
+    lhbSize_.assign(entries, 0);
+    estCache_.assign(entries, Value{});
+    estValid_.assign(entries, 0);
+    pending_.resize(config.valueDelay + 2);
 }
 
-LoadValueApproximator::Entry &
-LoadValueApproximator::lookup(u64 hash, u32 &slot, bool &tag_match,
-                              u64 &tag_out)
+// lva-hot-path: begin (per-miss estimate/train path; see
+// docs/performance.md — no allocation, no per-miss copies)
+
+u32
+LoadValueApproximator::lookup(u64 hash, bool &tag_match, u64 &tag_out)
 {
     const u32 sets = config_.tableEntries / config_.tableAssoc;
     const HashSplit split = splitHash(hash, sets, config_.tagBits);
     tag_out = split.tag;
     const u32 base = split.index * config_.tableAssoc;
 
-    Entry *victim = nullptr;
+    bool have_victim = false;
     u32 victim_slot = base;
     for (u32 w = 0; w < config_.tableAssoc; ++w) {
-        Entry &entry = table_[base + w];
-        if (entry.valid && entry.tag == split.tag) {
-            entry.lastUse = ++useClock_;
-            slot = base + w;
+        const u32 s = base + w;
+        if (valid_[s] && tags_[s] == split.tag) {
+            lastUse_[s] = ++useClock_;
             tag_match = true;
-            return entry;
+            return s;
         }
-        if (!entry.valid) {
-            if (victim == nullptr || victim->valid) {
-                victim = &entry;
-                victim_slot = base + w;
+        if (!valid_[s]) {
+            if (!have_victim || valid_[victim_slot]) {
+                have_victim = true;
+                victim_slot = s;
             }
-        } else if (victim == nullptr ||
-                   (victim->valid && entry.lastUse < victim->lastUse)) {
-            victim = &entry;
-            victim_slot = base + w;
+        } else if (!have_victim ||
+                   (valid_[victim_slot] &&
+                    lastUse_[s] < lastUse_[victim_slot])) {
+            have_victim = true;
+            victim_slot = s;
         }
     }
-    victim->lastUse = ++useClock_;
-    slot = victim_slot;
+    lastUse_[victim_slot] = ++useClock_;
     tag_match = false;
-    return *victim;
+    return victim_slot;
 }
 
 Value
-LoadValueApproximator::estimate(const Entry &entry) const
+LoadValueApproximator::estimate(u32 slot)
 {
-    const auto values = entry.lhb.snapshot();
+    if (estValid_[slot])
+        return estCache_[slot];
+    // In-place ring iteration, oldest-first — the same kernels (and
+    // so the same floating-point summation order) as the historical
+    // snapshot()+span path, without the per-miss vector.
+    const u32 n = lhbSize_[slot];
+    const u32 cap = config_.lhbEntries;
+    const Value *vals = &lhbValues_[u64(slot) * cap];
+    u32 start = lhbHead_[slot] + cap - n;
+    if (start >= cap)
+        start -= cap;
+    const auto at = [vals, cap, start](u32 i) -> const Value & {
+        u32 idx = start + i;
+        if (idx >= cap)
+            idx -= cap;
+        return vals[idx];
+    };
+    Value v;
     switch (config_.estimator) {
       case Estimator::Average:
-        return averageOf(values);
+        v = averageAt(n, at);
+        break;
       case Estimator::Last:
-        return lastOf(values);
+        v = lastAt(n, at);
+        break;
       case Estimator::Stride:
-        return strideOf(values);
+        v = strideAt(n, at);
+        break;
+      default:
+        lva_panic("bad estimator %d",
+                  static_cast<int>(config_.estimator));
     }
-    lva_panic("bad estimator %d", static_cast<int>(config_.estimator));
+    estCache_[slot] = v;
+    estValid_[slot] = 1;
+    return v;
 }
 
 bool
@@ -173,28 +209,27 @@ LoadValueApproximator::onMiss(LoadSiteId pc, const Value &precise)
     stats_.lookups.inc();
 
     const u64 hash = contextHash(pc, ghb_, config_.mantissaDropBits);
-    u32 slot = 0;
     bool tag_match = false;
     u64 tag = 0;
-    Entry &entry = lookup(hash, slot, tag_match, tag);
+    const u32 slot = lookup(hash, tag_match, tag);
 
     MissResponse resp;
 
     if (!tag_match) {
         // Context never seen (or aliased away): (re)allocate and train.
         stats_.allocations.inc();
-        entry.valid = true;
-        entry.tag = tag;
-        entry.conf.reset(0);
-        entry.degree.reset();
-        entry.lhb.clear();
+        valid_[slot] = 1;
+        tags_[slot] = tag;
+        conf_[slot].reset(0);
+        degree_[slot].reset();
+        lhbClear(slot);
         resp.approximated = false;
         resp.fetch = true;
         enqueueTraining(slot, tag, std::nullopt, precise);
         return resp;
     }
 
-    if (entry.lhb.empty()) {
+    if (lhbSize_[slot] == 0) {
         // Matching context but no history yet (training in flight).
         stats_.coldRejects.inc();
         resp.approximated = false;
@@ -203,9 +238,9 @@ LoadValueApproximator::onMiss(LoadSiteId pc, const Value &precise)
         return resp;
     }
 
-    const Value xhat = estimate(entry);
+    const Value xhat = estimate(slot);
     const bool confident =
-        !gateApplies(precise.kind()) || entry.conf.value() >= 0;
+        !gateApplies(precise.kind()) || conf_[slot].value() >= 0;
 
     if (!confident) {
         // Fetch as a normal miss; the would-be estimate still trains
@@ -220,16 +255,17 @@ LoadValueApproximator::onMiss(LoadSiteId pc, const Value &precise)
     resp.approximated = true;
     resp.value = xhat;
     stats_.approximations.inc();
-    reg_->trace(traceApprox_, xhat.toReal());
+    if (reg_->tracingEnabled())
+        reg_->trace(traceApprox_, xhat.toReal());
 
-    if (entry.degree.atZero()) {
+    if (degree_[slot].atZero()) {
         // Degree exhausted: fetch the block to train, then rearm.
         resp.fetch = true;
-        entry.degree.reset();
+        degree_[slot].reset();
         enqueueTraining(slot, tag, xhat, precise);
     } else {
         // Reuse the approximation; the fetch is cancelled outright.
-        entry.degree.consume();
+        degree_[slot].consume();
         resp.fetch = false;
         stats_.fetchesSkipped.inc();
     }
@@ -252,21 +288,37 @@ LoadValueApproximator::enqueueTraining(u32 index, u64 tag,
                                        const std::optional<Value> &xhat,
                                        const Value &actual)
 {
-    PendingTrain train;
+    const u32 cap = static_cast<u32>(pending_.size());
+    lva_assert(pendingCount_ < cap,
+               "pending ring overflow (%u of %u)", pendingCount_, cap);
+    u32 tail = pendingHead_ + pendingCount_;
+    if (tail >= cap)
+        tail -= cap;
+    PendingTrain &train = pending_[tail];
     train.dueAtLoad = loadCount_ + config_.valueDelay;
     train.index = index;
     train.tag = tag;
-    train.xhat = xhat;
+    train.hasXhat = xhat.has_value();
+    train.xhat = xhat.has_value() ? *xhat : Value{};
     train.actual = actual;
-    pending_.push_back(train);
+    ++pendingCount_;
+}
+
+void
+LoadValueApproximator::popPendingFront()
+{
+    if (++pendingHead_ == static_cast<u32>(pending_.size()))
+        pendingHead_ = 0;
+    --pendingCount_;
 }
 
 void
 LoadValueApproximator::applyDueTrainings()
 {
-    while (!pending_.empty() && pending_.front().dueAtLoad <= loadCount_) {
-        applyTraining(pending_.front());
-        pending_.pop_front();
+    while (pendingCount_ > 0 &&
+           pending_[pendingHead_].dueAtLoad <= loadCount_) {
+        applyTraining(pending_[pendingHead_]);
+        popPendingFront();
     }
 }
 
@@ -274,56 +326,63 @@ void
 LoadValueApproximator::applyTraining(const PendingTrain &train)
 {
     stats_.trainings.inc();
-    reg_->trace(traceTrain_, train.actual.toReal());
+    if (reg_->tracingEnabled())
+        reg_->trace(traceTrain_, train.actual.toReal());
 
     // X_actual always enters the global history on arrival.
     ghb_.push(train.actual);
 
-    Entry &entry = table_[train.index];
-    if (!entry.valid || entry.tag != train.tag) {
+    const u32 slot = train.index;
+    if (!valid_[slot] || tags_[slot] != train.tag) {
         // Entry was re-allocated to another context while the block was
         // in flight; only the GHB benefits from this value.
         stats_.staleDrops.inc();
         return;
     }
 
-    if (train.xhat.has_value()) {
+    if (train.hasXhat) {
         const double validated_rel = relativeError(
-            train.xhat->toReal(), train.actual.toReal());
+            train.xhat.toReal(), train.actual.toReal());
         stats_.error.sample(
             std::isnan(validated_rel) ? 1.0 : validated_rel);
-        const bool close = std::isinf(config_.confidenceWindow)
-                               ? true
-                               : withinWindow(*train.xhat, train.actual,
-                                              config_.confidenceWindow);
+        // Same condition withinWindow() would evaluate, reusing the
+        // relative error already computed for the histogram (the
+        // window <= 0 case degenerates to exact equality, as there).
+        const double window = config_.confidenceWindow;
+        const bool close =
+            std::isinf(window)
+                ? true
+                : (window <= 0.0
+                       ? train.xhat.exactlyEquals(train.actual)
+                       : validated_rel <= window);
         if (close) {
-            entry.conf.increment();
+            conf_[slot].increment();
         } else if (config_.proportionalConfidence &&
                    config_.confidenceWindow > 0.0) {
             // Penalize in proportion to how far outside the window
             // the estimate landed (capped), so wildly wrong contexts
             // shut off faster while borderline ones keep probing.
-            const double rel = relativeError(train.xhat->toReal(),
-                                             train.actual.toReal());
-            const double widths = rel / config_.confidenceWindow;
+            const double widths = validated_rel / config_.confidenceWindow;
             i32 penalty = 1;
             if (std::isfinite(widths))
                 penalty += static_cast<i32>(std::min(widths, 3.0));
-            entry.conf.decrement(penalty);
+            conf_[slot].decrement(penalty);
         } else {
-            entry.conf.decrement();
+            conf_[slot].decrement();
         }
     }
 
-    entry.lhb.push(train.actual);
+    lhbPush(slot, train.actual);
 }
+
+// lva-hot-path: end
 
 void
 LoadValueApproximator::drainPending()
 {
-    while (!pending_.empty()) {
-        applyTraining(pending_.front());
-        pending_.pop_front();
+    while (pendingCount_ > 0) {
+        applyTraining(pending_[pendingHead_]);
+        popPendingFront();
     }
     stats_.occupancy.set(static_cast<double>(validEntries()));
 }
@@ -332,9 +391,8 @@ u32
 LoadValueApproximator::validEntries() const
 {
     u32 count = 0;
-    for (const auto &entry : table_)
-        if (entry.valid)
-            ++count;
+    for (const u8 v : valid_)
+        count += v;
     return count;
 }
 

@@ -15,7 +15,6 @@
 #ifndef LVA_CORE_APPROXIMATOR_HH
 #define LVA_CORE_APPROXIMATOR_HH
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -141,43 +140,36 @@ class LoadValueApproximator
     u32 validEntries() const;
 
   private:
-    struct Entry
-    {
-        Entry(const ApproximatorConfig &config)
-            : conf(SignedSatCounter::fromBits(config.confidenceBits)),
-              degree(config.approxDegree),
-              lhb(config.lhbEntries)
-        {}
-
-        bool valid = false;
-        u64 tag = 0;
-        u64 lastUse = 0; ///< LRU within a set (associative tables)
-        SignedSatCounter conf;
-        DegreeCounter degree;
-        HistoryBuffer lhb;
-    };
-
     /**
-     * Locate (or allocate) the entry for a context hash in its
-     * (possibly multi-way) set.
+     * Locate (or allocate-victimize) the slot for a context hash in
+     * its (possibly multi-way) set.
      *
-     * @param[out] slot     flat table index of the returned entry
-     * @param[out] tag_match true if the entry already held this tag
+     * @param[out] tag_match true if the slot already held this tag
+     * @param[out] tag_out   the tag derived from the hash
+     * @return flat table index of the chosen slot
      */
-    Entry &lookup(u64 hash, u32 &slot, bool &tag_match, u64 &tag_out);
+    u32 lookup(u64 hash, bool &tag_match, u64 &tag_out);
 
     /** An X_actual in flight from the next memory level. */
     struct PendingTrain
     {
-        u64 dueAtLoad;               ///< loadCount_ when the block arrives
-        u32 index;                   ///< table entry being trained
-        u64 tag;                     ///< tag at issue time
-        std::optional<Value> xhat;   ///< estimate to validate, if any
-        Value actual;                ///< X_actual from memory
+        u64 dueAtLoad;   ///< loadCount_ when the block arrives
+        u32 index;       ///< table entry being trained
+        u64 tag;         ///< tag at issue time
+        bool hasXhat;    ///< true when xhat holds an estimate
+        Value xhat;      ///< estimate to validate (when hasXhat)
+        Value actual;    ///< X_actual from memory
     };
 
-    /** The computation function f over an entry's LHB. */
-    Value estimate(const Entry &entry) const;
+    /** The computation function f over slot @p slot's LHB ring. */
+    /**
+     * Memoized per slot: the estimate is a pure function of the
+     * slot's LHB contents, so the cached Value is reused bit-exactly
+     * until lhbPush()/lhbClear() touches the slot (frequent under
+     * approximation degrees > 1, where fetch-skipped misses re-read
+     * an unchanged history).
+     */
+    Value estimate(u32 slot);
 
     /** Does the confidence gate apply to values of this kind? */
     bool gateApplies(ValueKind kind) const;
@@ -191,13 +183,82 @@ class LoadValueApproximator
                          const std::optional<Value> &xhat,
                          const Value &actual);
 
+    // --- LHB ring helpers over the contiguous SoA storage. Slot s's
+    // values occupy lhbValues_[s*lhbCap .. s*lhbCap+lhbCap); ring
+    // state (next-write head, fill) lives in lhbHead_/lhbSize_[s].
+
+    void
+    lhbClear(u32 slot)
+    {
+        lhbHead_[slot] = 0;
+        lhbSize_[slot] = 0;
+        estValid_[slot] = 0;
+    }
+
+    void
+    lhbPush(u32 slot, const Value &v)
+    {
+        const u32 cap = config_.lhbEntries;
+        const u32 head = lhbHead_[slot];
+        lhbValues_[slot * cap + head] = v;
+        // Conditional wrap instead of %: no integer divide per train.
+        lhbHead_[slot] = (head + 1 == cap) ? 0 : head + 1;
+        if (lhbSize_[slot] < cap)
+            ++lhbSize_[slot];
+        estValid_[slot] = 0;
+    }
+
+    /** i-th oldest LHB value of @p slot (0 = oldest), in place. */
+    const Value &
+    lhbOldest(u32 slot, u32 i) const
+    {
+        const u32 cap = config_.lhbEntries;
+        // head + cap - size + i < 2*cap, so one conditional wrap
+        // replaces the divide.
+        u32 idx = lhbHead_[slot] + cap - lhbSize_[slot] + i;
+        if (idx >= cap)
+            idx -= cap;
+        return lhbValues_[slot * cap + idx];
+    }
+
+    // --- Pending-train fixed ring. At most one enqueue per load and
+    // every entry due within valueDelay loads of its enqueue, so
+    // occupancy never exceeds valueDelay + 1 (enforced by lva_assert
+    // in enqueueTraining); the ring is sized valueDelay + 2 once at
+    // construction and the steady state never allocates.
+
+    void popPendingFront();
+
     LoadValueApproximator(const ApproximatorConfig &config,
                           StatRegistry *reg, const std::string &prefix);
 
     ApproximatorConfig config_;
-    std::vector<Entry> table_;
+
+    /**
+     * The table in structure-of-arrays layout — the columns of the
+     * paper's Figure 3 as separate contiguous arrays, indexed by flat
+     * slot. A lookup touches only the columns it needs (tags_ and
+     * lastUse_ for the set scan), instead of striding across
+     * full AoS entries; LHB values for all slots share one
+     * contiguous allocation.
+     */
+    std::vector<u8> valid_;
+    std::vector<u64> tags_;
+    std::vector<u64> lastUse_; ///< LRU within a set (associative)
+    std::vector<SignedSatCounter> conf_;
+    std::vector<DegreeCounter> degree_;
+    std::vector<Value> lhbValues_; ///< tableEntries x lhbEntries
+    std::vector<u32> lhbHead_;     ///< per-slot ring next-write index
+    std::vector<u32> lhbSize_;     ///< per-slot ring fill
+    std::vector<Value> estCache_;  ///< memoized estimate per slot
+    std::vector<u8> estValid_;     ///< estCache_ entry is current
+
     HistoryBuffer ghb_;
-    std::deque<PendingTrain> pending_;
+
+    std::vector<PendingTrain> pending_; ///< fixed ring, never resized
+    u32 pendingHead_ = 0;  ///< index of the oldest pending training
+    u32 pendingCount_ = 0; ///< live entries in the ring
+
     u64 loadCount_ = 0;
     u64 useClock_ = 0;
     std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only

@@ -6,6 +6,8 @@
 #ifndef LVA_CORE_CONTEXT_HASH_HH
 #define LVA_CORE_CONTEXT_HASH_HH
 
+#include <bit>
+
 #include "core/history_buffer.hh"
 #include "util/random.hh"
 #include "util/types.hh"
@@ -40,9 +42,19 @@ inline HashSplit
 splitHash(u64 hash, u32 table_entries, u32 tag_bits)
 {
     HashSplit out;
-    out.index = static_cast<u32>(hash % table_entries);
     const u64 tag_mask =
         tag_bits >= 64 ? ~u64(0) : ((u64(1) << tag_bits) - 1);
+    if ((table_entries & (table_entries - 1)) == 0) {
+        // Power-of-two table (the practical case): shift/mask is
+        // bit-identical to the divide below but avoids two 64-bit
+        // divisions on the per-miss path.
+        const u32 shift =
+            static_cast<u32>(std::countr_zero(table_entries));
+        out.index = static_cast<u32>(hash & (table_entries - 1));
+        out.tag = (hash >> shift) & tag_mask;
+        return out;
+    }
+    out.index = static_cast<u32>(hash % table_entries);
     out.tag = (hash / table_entries) & tag_mask;
     return out;
 }

@@ -41,21 +41,39 @@ class HistoryBuffer
         if (capacity_ == 0)
             return;
         storage_[head_] = v;
-        head_ = (head_ + 1) % capacity_;
+        // Conditional wrap instead of %: the ring index math stays
+        // free of integer divides on the per-load path.
+        if (++head_ == capacity_)
+            head_ = 0;
         if (size_ < capacity_)
             ++size_;
     }
 
-    /** Oldest-to-newest copy of the contents. */
+    /**
+     * Oldest-to-newest copy of the contents. Allocates; hot paths use
+     * oldest()/newest() in-place indexed reads instead (the estimate
+     * and context-hash paths must stay allocation-free — see
+     * docs/performance.md).
+     */
     std::vector<Value>
     snapshot() const
     {
         std::vector<Value> out;
         out.reserve(size_);
-        const u32 start = (head_ + capacity_ - size_) % (capacity_ ? capacity_ : 1);
         for (u32 i = 0; i < size_; ++i)
-            out.push_back(storage_[(start + i) % capacity_]);
+            out.push_back(oldest(i));
         return out;
+    }
+
+    /** i-th oldest value (0 = oldest), read in place. */
+    const Value &
+    oldest(u32 i) const
+    {
+        lva_assert(i < size_, "history index %u out of %u", i, size_);
+        u32 idx = head_ + capacity_ - size_ + i;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        return storage_[idx];
     }
 
     /** i-th newest value (0 = most recent). */
@@ -63,7 +81,9 @@ class HistoryBuffer
     newest(u32 i = 0) const
     {
         lva_assert(i < size_, "history index %u out of %u", i, size_);
-        const u32 idx = (head_ + capacity_ - 1 - i) % capacity_;
+        u32 idx = head_ + capacity_ - 1 - i;
+        if (idx >= capacity_)
+            idx -= capacity_;
         return storage_[idx];
     }
 

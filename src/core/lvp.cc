@@ -42,7 +42,11 @@ IdealizedLvp::IdealizedLvp(const ApproximatorConfig &config,
     table_.reserve(config.tableEntries);
     for (u32 i = 0; i < config.tableEntries; ++i)
         table_.emplace_back(config);
+    pending_.resize(config.valueDelay + 2);
 }
+
+// lva-hot-path: begin (per-miss predict/train path; see
+// docs/performance.md)
 
 bool
 IdealizedLvp::onMiss(LoadSiteId pc, const Value &precise)
@@ -66,9 +70,10 @@ IdealizedLvp::onMiss(LoadSiteId pc, const Value &precise)
     } else if (entry.lhb.empty()) {
         stats_.cold.inc();
     } else {
-        // Perfect selection: correct iff any LHB value matches exactly.
-        for (const Value &v : entry.lhb.snapshot()) {
-            if (v.exactlyEquals(precise)) {
+        // Perfect selection: correct iff any LHB value matches
+        // exactly (oldest-first, in place — no snapshot copy).
+        for (u32 i = 0; i < entry.lhb.size(); ++i) {
+            if (entry.lhb.oldest(i).exactlyEquals(precise)) {
                 predicted_correctly = true;
                 break;
             }
@@ -80,14 +85,26 @@ IdealizedLvp::onMiss(LoadSiteId pc, const Value &precise)
     }
 
     // LVP always fetches: validation requires the actual data.
-    PendingTrain train;
-    train.dueAtLoad = loadCount_ + config_.valueDelay;
-    train.index = split.index;
-    train.tag = split.tag;
-    train.actual = precise;
-    pending_.push_back(train);
+    enqueueTraining(split.index, split.tag, precise);
 
     return predicted_correctly;
+}
+
+void
+IdealizedLvp::enqueueTraining(u32 index, u64 tag, const Value &actual)
+{
+    const u32 cap = static_cast<u32>(pending_.size());
+    lva_assert(pendingCount_ < cap,
+               "pending ring overflow (%u of %u)", pendingCount_, cap);
+    u32 tail = pendingHead_ + pendingCount_;
+    if (tail >= cap)
+        tail -= cap;
+    PendingTrain &train = pending_[tail];
+    train.dueAtLoad = loadCount_ + config_.valueDelay;
+    train.index = index;
+    train.tag = tag;
+    train.actual = actual;
+    ++pendingCount_;
 }
 
 void
@@ -100,31 +117,34 @@ IdealizedLvp::onHit(LoadSiteId pc, const Value &precise)
 }
 
 void
+IdealizedLvp::applyFront()
+{
+    const PendingTrain &train = pending_[pendingHead_];
+    stats_.trainings.inc();
+    ghb_.push(train.actual);
+    Entry &entry = table_[train.index];
+    if (entry.valid && entry.tag == train.tag)
+        entry.lhb.push(train.actual);
+    if (++pendingHead_ == static_cast<u32>(pending_.size()))
+        pendingHead_ = 0;
+    --pendingCount_;
+}
+
+void
 IdealizedLvp::applyDueTrainings()
 {
-    while (!pending_.empty() && pending_.front().dueAtLoad <= loadCount_) {
-        const PendingTrain &train = pending_.front();
-        stats_.trainings.inc();
-        ghb_.push(train.actual);
-        Entry &entry = table_[train.index];
-        if (entry.valid && entry.tag == train.tag)
-            entry.lhb.push(train.actual);
-        pending_.pop_front();
-    }
+    while (pendingCount_ > 0 &&
+           pending_[pendingHead_].dueAtLoad <= loadCount_)
+        applyFront();
 }
+
+// lva-hot-path: end
 
 void
 IdealizedLvp::drainPending()
 {
-    while (!pending_.empty()) {
-        const PendingTrain &train = pending_.front();
-        stats_.trainings.inc();
-        ghb_.push(train.actual);
-        Entry &entry = table_[train.index];
-        if (entry.valid && entry.tag == train.tag)
-            entry.lhb.push(train.actual);
-        pending_.pop_front();
-    }
+    while (pendingCount_ > 0)
+        applyFront();
 }
 
 } // namespace lva

@@ -14,7 +14,6 @@
 #ifndef LVA_CORE_LVP_HH
 #define LVA_CORE_LVP_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -101,13 +100,26 @@ class IdealizedLvp
 
     void applyDueTrainings();
 
+    void enqueueTraining(u32 index, u64 tag, const Value &actual);
+    void applyFront();
+
     IdealizedLvp(const ApproximatorConfig &config, StatRegistry *reg,
                  const std::string &prefix);
 
     ApproximatorConfig config_;
     std::vector<Entry> table_;
     HistoryBuffer ghb_;
-    std::deque<PendingTrain> pending_;
+
+    /**
+     * Pending-train fixed ring (same occupancy bound as the
+     * approximator's: at most one enqueue per load, due within
+     * valueDelay loads — sized valueDelay + 2 at construction, never
+     * resized).
+     */
+    std::vector<PendingTrain> pending_;
+    u32 pendingHead_ = 0;
+    u32 pendingCount_ = 0;
+
     u64 loadCount_ = 0;
     std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
     StatRegistry *reg_;

@@ -8,6 +8,18 @@
  * may return a different (approximated) value, which the kernel must
  * consume — exactly what the paper's Pin tool does when it clobbers load
  * return values.
+ *
+ * Dispatch is sealed on the load path (the per-access hot path): every
+ * backend carries a BackendKind tag and the non-virtual load()/
+ * loadMany() entry points switch on it, routing the overwhelmingly
+ * common kinds (ApproxMemory, NullBackend) to direct calls that the
+ * compiler can inline, while anything else falls through to the
+ * loadVirtual() virtual as before. The virtual boundary remains at the
+ * run level (Workload::run takes MemoryBackend&); only the per-load
+ * indirect branch is gone. loadMany() amortizes even the remaining
+ * call per access: workloads push runs of independent accesses through
+ * the hierarchy in one call (requests are processed strictly in array
+ * order, so results are byte-identical to the scalar loop).
  */
 
 #ifndef LVA_CORE_MEMORY_BACKEND_HH
@@ -18,20 +30,46 @@
 
 namespace lva {
 
+/** Sealed-dispatch tag: which concrete backend this is. */
+enum class BackendKind : u8 {
+    Generic, ///< anything else: dispatch via the loadVirtual() virtual
+    Approx,  ///< ApproxMemory (phase-1 functional memory system)
+    Null,    ///< NullBackend (golden runs: precise, no bookkeeping)
+};
+
+/** One load for the batched loadMany() entry point. */
+struct LoadRequest
+{
+    Addr addr = 0;
+    Value precise{};      ///< the value stored at addr in this run
+    LoadSiteId pc = 0;
+    ThreadId tid = 0;
+    bool approximable = false;
+    bool dependent = false;
+};
+
 /**
  * Abstract memory-system backend.
  *
  * Implementations: ApproxMemory (phase-1 functional simulation with
  * per-thread private L1 caches and approximators), TraceRecorder
  * (phase-2 trace capture for the full-system timing model).
+ * Subclasses implement loadVirtual(); callers use load()/loadMany().
  */
 class MemoryBackend
 {
   public:
+    explicit MemoryBackend(BackendKind kind = BackendKind::Generic)
+        : kind_(kind)
+    {}
+
     virtual ~MemoryBackend() = default;
 
+    BackendKind kind() const { return kind_; }
+
     /**
-     * A load instruction.
+     * A load instruction (sealed dispatch; defined in
+     * approx_memory.cc so the ApproxMemory fast path inlines).
      *
      * @param tid         issuing logical thread
      * @param pc          static load site
@@ -46,9 +84,17 @@ class MemoryBackend
      *                    approximated
      * @return the value the core receives (possibly approximated)
      */
-    virtual Value load(ThreadId tid, LoadSiteId pc, Addr addr,
-                       const Value &precise, bool approximable,
-                       bool dependent = false) = 0;
+    Value load(ThreadId tid, LoadSiteId pc, Addr addr,
+               const Value &precise, bool approximable,
+               bool dependent = false);
+
+    /**
+     * A run of @p n independent loads, processed strictly in array
+     * order: out[i] is exactly what load(reqs[i]...) would have
+     * returned in a scalar loop, for any backend. One boundary call
+     * per batch instead of per access.
+     */
+    void loadMany(const LoadRequest *reqs, Value *out, u32 n);
 
     /**
      * A load of non-annotated data whose value the model never needs
@@ -68,25 +114,38 @@ class MemoryBackend
 
     /** End-of-run hook (drain value-delayed trainings, etc.). */
     virtual void finish() {}
+
+  protected:
+    /** Generic (BackendKind::Generic) implementation of one load. */
+    virtual Value loadVirtual(ThreadId tid, LoadSiteId pc, Addr addr,
+                              const Value &precise, bool approximable,
+                              bool dependent) = 0;
+
+  private:
+    BackendKind kind_;
 };
 
 /**
  * Backend that models nothing: loads return the precise value and no
  * statistics are kept. Used to execute reference (golden) runs at full
- * host speed.
+ * host speed. load() short-circuits on BackendKind::Null before any
+ * virtual dispatch.
  */
 class NullBackend : public MemoryBackend
 {
   public:
-    Value
-    load(ThreadId, LoadSiteId, Addr, const Value &precise, bool,
-         bool) override
-    {
-        return precise;
-    }
+    NullBackend() : MemoryBackend(BackendKind::Null) {}
 
     void store(ThreadId, LoadSiteId, Addr) override {}
     void tickInstructions(ThreadId, u64) override {}
+
+  protected:
+    Value
+    loadVirtual(ThreadId, LoadSiteId, Addr, const Value &precise, bool,
+                bool) override
+    {
+        return precise;
+    }
 };
 
 } // namespace lva

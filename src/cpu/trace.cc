@@ -11,7 +11,7 @@ TraceRecorder::TraceRecorder(u32 threads)
 }
 
 Value
-TraceRecorder::load(ThreadId tid, LoadSiteId pc, Addr addr,
+TraceRecorder::loadVirtual(ThreadId tid, LoadSiteId pc, Addr addr,
                     const Value &precise, bool approximable,
                     bool dependent)
 {

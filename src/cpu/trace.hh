@@ -46,9 +46,6 @@ class TraceRecorder : public MemoryBackend
   public:
     explicit TraceRecorder(u32 threads = 4);
 
-    Value load(ThreadId tid, LoadSiteId pc, Addr addr,
-               const Value &precise, bool approximable,
-               bool dependent = false) override;
     void store(ThreadId tid, LoadSiteId pc, Addr addr) override;
     void tickInstructions(ThreadId tid, u64 n) override;
 
@@ -60,6 +57,11 @@ class TraceRecorder : public MemoryBackend
 
     /** Total instructions (memory + non-memory) across all threads. */
     u64 totalInstructions() const;
+
+  protected:
+    Value loadVirtual(ThreadId tid, LoadSiteId pc, Addr addr,
+                      const Value &precise, bool approximable,
+                      bool dependent) override;
 
   private:
     std::vector<ThreadTrace> traces_;

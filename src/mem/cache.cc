@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -51,29 +52,19 @@ Cache::Cache(const CacheConfig &config, StatRegistry *reg,
     blockMask_ = config.blockBytes - 1;
     setShift_ = std::countr_zero(static_cast<u64>(config.blockBytes));
     setMask_ = sets - 1;
-    sets_.resize(sets);
-    for (auto &set : sets_)
-        set.ways.resize(config.assoc);
-}
-
-Cache::Set &
-Cache::setFor(Addr addr)
-{
-    return sets_[(addr >> setShift_) & setMask_];
-}
-
-const Cache::Set &
-Cache::setFor(Addr addr) const
-{
-    return sets_[(addr >> setShift_) & setMask_];
+    const u64 slots = sets * config.assoc;
+    tags_.assign(slots, invalidAddr);
+    lastUse_.assign(slots, 0);
+    dirty_.assign(slots, 0);
 }
 
 bool
 Cache::contains(Addr addr) const
 {
     const Addr tag = blockAlign(addr);
-    for (const auto &way : setFor(addr).ways)
-        if (way.tag == tag)
+    const u64 base = setBase(addr);
+    for (u32 w = 0; w < config_.assoc; ++w)
+        if (tags_[base + w] == tag)
             return true;
     return false;
 }
@@ -82,10 +73,15 @@ bool
 Cache::access(Addr addr, bool is_write)
 {
     const Addr tag = blockAlign(addr);
-    for (auto &way : setFor(addr).ways) {
-        if (way.tag == tag) {
-            way.lastUse = ++useClock_;
-            way.dirty = way.dirty || is_write;
+    const u64 base = setBase(addr);
+    for (u32 w = 0; w < config_.assoc; ++w) {
+        const u64 s = base + w;
+        if (tags_[s] == tag) {
+            lastUse_[s] = ++useClock_;
+            // Branch instead of |=: loads (the overwhelmingly common
+            // case) never touch the dirty column.
+            if (is_write)
+                dirty_[s] = 1;
             stats_.hits.inc();
             return true;
         }
@@ -98,41 +94,56 @@ Addr
 Cache::insert(Addr addr, bool is_write)
 {
     const Addr tag = blockAlign(addr);
-    Set &set = setFor(addr);
+    const u64 base = setBase(addr);
 
-    for (auto &way : set.ways) {
-        if (way.tag == tag) {
+    for (u32 w = 0; w < config_.assoc; ++w) {
+        const u64 s = base + w;
+        if (tags_[s] == tag) {
             // Already resident: refresh recency only.
-            way.lastUse = ++useClock_;
-            way.dirty = way.dirty || is_write;
+            lastUse_[s] = ++useClock_;
+            dirty_[s] |= static_cast<u8>(is_write);
             return invalidAddr;
         }
     }
 
-    // Victim: first empty way, otherwise the least recently used.
-    Way *victim = nullptr;
-    for (auto &way : set.ways) {
-        if (way.tag == invalidAddr) {
-            victim = &way;
-            break;
+    return fill(addr, is_write);
+}
+
+Addr
+Cache::fill(Addr addr, bool is_write)
+{
+    const Addr tag = blockAlign(addr);
+    const u64 base = setBase(addr);
+
+    // Victim: first empty way, otherwise the least recently used,
+    // ties broken toward the lowest way index. Selected WITHOUT
+    // reading the tag column: lastUse_ is zero iff the way is empty
+    // (useClock_ stamps are unique and >= 1, and invalidate()/
+    // flush() zero the stamp), so the least lastUse_ with
+    // earliest-index ties is exactly that policy.
+    u64 victim = base;
+    u64 best = lastUse_[base];
+    for (u32 w = 1; w < config_.assoc; ++w) {
+        const u64 s = base + w;
+        const u64 t = lastUse_[s];
+        if (t < best) {
+            victim = s;
+            best = t;
         }
-        if (!victim || way.lastUse < victim->lastUse)
-            victim = &way;
     }
-    lva_assert(victim != nullptr, "set has no ways");
 
     stats_.fetches.inc();
     Addr evicted = invalidAddr;
-    if (victim->tag != invalidAddr) {
-        evicted = victim->tag;
+    if (tags_[victim] != invalidAddr) {
+        evicted = tags_[victim];
         stats_.evictions.inc();
         reg_->trace(traceEvict_, static_cast<double>(evicted));
-        if (victim->dirty)
+        if (dirty_[victim])
             stats_.writebacks.inc();
     }
-    victim->tag = tag;
-    victim->lastUse = ++useClock_;
-    victim->dirty = is_write;
+    tags_[victim] = tag;
+    lastUse_[victim] = ++useClock_;
+    dirty_[victim] = static_cast<u8>(is_write);
     return evicted;
 }
 
@@ -140,12 +151,15 @@ bool
 Cache::invalidate(Addr addr)
 {
     const Addr tag = blockAlign(addr);
-    for (auto &way : setFor(addr).ways) {
-        if (way.tag == tag) {
-            if (way.dirty)
+    const u64 base = setBase(addr);
+    for (u32 w = 0; w < config_.assoc; ++w) {
+        const u64 s = base + w;
+        if (tags_[s] == tag) {
+            if (dirty_[s])
                 stats_.writebacks.inc();
-            way.tag = invalidAddr;
-            way.dirty = false;
+            tags_[s] = invalidAddr;
+            lastUse_[s] = 0; // empty marker; fill()'s victim scan keys on it
+            dirty_[s] = 0;
             return true;
         }
     }
@@ -155,9 +169,9 @@ Cache::invalidate(Addr addr)
 void
 Cache::flush()
 {
-    for (auto &set : sets_)
-        for (auto &way : set.ways)
-            way = Way{};
+    std::fill(tags_.begin(), tags_.end(), invalidAddr);
+    std::fill(lastUse_.begin(), lastUse_.end(), u64{0});
+    std::fill(dirty_.begin(), dirty_.end(), u8{0});
     useClock_ = 0;
 }
 
@@ -165,10 +179,9 @@ u64
 Cache::residentBlocks() const
 {
     u64 count = 0;
-    for (const auto &set : sets_)
-        for (const auto &way : set.ways)
-            if (way.tag != invalidAddr)
-                ++count;
+    for (const Addr tag : tags_)
+        if (tag != invalidAddr)
+            ++count;
     return count;
 }
 

@@ -107,6 +107,15 @@ class Cache
     Addr insert(Addr addr, bool is_write = false);
 
     /**
+     * As insert(), but the caller guarantees the block is absent —
+     * the immediately preceding access() or probe() on the same
+     * address missed, with no intervening insert to the set. Skips
+     * insert()'s residency re-scan; statistics and eviction choice
+     * are identical.
+     */
+    Addr fill(Addr addr, bool is_write = false);
+
+    /**
      * Probe for a hit without updating any statistics (used by
      * prefetchers to filter redundant prefetches).
      */
@@ -135,29 +144,31 @@ class Cache
     }
 
   private:
-    struct Way
-    {
-        Addr tag = invalidAddr; ///< block-aligned address; invalidAddr=empty
-        u64 lastUse = 0;        ///< LRU timestamp
-        bool dirty = false;
-    };
-
-    struct Set
-    {
-        std::vector<Way> ways;
-    };
-
     Cache(const CacheConfig &config, StatRegistry *reg,
           const std::string &prefix);
 
-    Set &setFor(Addr addr);
-    const Set &setFor(Addr addr) const;
+    /** First way slot of the set holding @p addr. */
+    u64
+    setBase(Addr addr) const
+    {
+        return ((addr >> setShift_) & setMask_) * config_.assoc;
+    }
 
     CacheConfig config_;
     Addr blockMask_;
     u64 setShift_;
     u64 setMask_;
-    std::vector<Set> sets_;
+
+    /**
+     * Tag array, structure-of-arrays: way w of set s lives at slot
+     * s * assoc + w in each column. The hot access() scan reads only
+     * tags_ — for an 8-way set that is a single 64-byte line —
+     * instead of chasing a per-set heap vector of padded way structs.
+     * tags_ holds the block-aligned address (invalidAddr = empty).
+     */
+    std::vector<Addr> tags_;
+    std::vector<u64> lastUse_; ///< LRU timestamp per way slot
+    std::vector<u8> dirty_;    ///< dirty flag per way slot
     u64 useClock_ = 0;
     std::unique_ptr<StatRegistry> ownedReg_; ///< standalone ctor only
     StatRegistry *reg_;

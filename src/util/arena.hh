@@ -26,7 +26,7 @@ class VirtualArena
 {
   public:
     explicit VirtualArena(Addr base = 0x1000'0000, u32 block_bytes = 64)
-        : next_(base), blockBytes_(block_bytes)
+        : base_(base), next_(base), blockBytes_(block_bytes)
     {
         lva_assert(block_bytes > 0 &&
                    (block_bytes & (block_bytes - 1)) == 0,
@@ -44,14 +44,13 @@ class VirtualArena
     }
 
     /** Total bytes of address space handed out so far. */
-    u64 bytesAllocated(Addr base = 0x1000'0000) const
-    {
-        return next_ - base;
-    }
+    u64 bytesAllocated() const { return next_ - base_; }
 
+    Addr base() const { return base_; }
     Addr next() const { return next_; }
 
   private:
+    Addr base_;
     Addr next_;
     u32 blockBytes_;
 };

@@ -166,6 +166,13 @@ class StatRegistry
     EventTracer &tracer() { return tracer_; }
     const EventTracer &tracer() const { return tracer_; }
 
+    /**
+     * Cheap hot-path guard: callers that must compute the traced
+     * value (e.g. a Value -> double conversion) check this first so
+     * the conversion is skipped entirely when tracing is off.
+     */
+    bool tracingEnabled() const { return tracer_.enabled(); }
+
     /** Record a trace event if tracing is enabled. */
     void
     trace(const std::string &path, double value)

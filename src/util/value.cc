@@ -106,32 +106,22 @@ withinWindow(const Value &approx, const Value &actual, double window)
 Value
 averageOf(std::span<const Value> values)
 {
-    lva_assert(!values.empty(), "averageOf on empty history");
-    double sum = 0.0;
-    for (const Value &v : values)
-        sum += v.toReal();
-    return Value::ofKind(values.front().kind(),
-                         sum / static_cast<double>(values.size()));
+    return averageAt(static_cast<u32>(values.size()),
+                     [values](u32 i) { return values[i]; });
 }
 
 Value
 lastOf(std::span<const Value> values)
 {
-    lva_assert(!values.empty(), "lastOf on empty history");
-    return values.back();
+    return lastAt(static_cast<u32>(values.size()),
+                  [values](u32 i) { return values[i]; });
 }
 
 Value
 strideOf(std::span<const Value> values)
 {
-    lva_assert(!values.empty(), "strideOf on empty history");
-    if (values.size() == 1)
-        return values.back();
-    const double first = values.front().toReal();
-    const double last = values.back().toReal();
-    const double mean_delta =
-        (last - first) / static_cast<double>(values.size() - 1);
-    return Value::ofKind(values.front().kind(), last + mean_delta);
+    return strideAt(static_cast<u32>(values.size()),
+                    [values](u32 i) { return values[i]; });
 }
 
 } // namespace lva

@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace lva {
@@ -143,6 +144,57 @@ double relativeError(double approx, double actual);
  * bitwise-exact equality, matching traditional value prediction.
  */
 bool withinWindow(const Value &approx, const Value &actual, double window);
+
+/**
+ * Indexed-accessor estimator kernels: the single implementation of the
+ * computation functions f, shared by the std::span overloads below and
+ * by the approximator's in-place SoA ring iteration. @p at maps
+ * [0, n) to values oldest-first. Floating-point summation order is
+ * part of the exported-bytes contract (DESIGN.md section 10), so every
+ * caller must present the same oldest-first order; funnelling both the
+ * span and ring paths through one kernel keeps them bit-identical by
+ * construction.
+ */
+template <typename At>
+Value
+averageAt(u32 n, At at)
+{
+    lva_assert(n > 0, "averageOf on empty history");
+    double sum = 0.0;
+    ValueKind kind = ValueKind::Int64;
+    for (u32 i = 0; i < n; ++i) {
+        const Value v = at(i);
+        if (i == 0)
+            kind = v.kind();
+        sum += v.toReal();
+    }
+    return Value::ofKind(kind, sum / static_cast<double>(n));
+}
+
+/** LAST kernel: most recent value. */
+template <typename At>
+Value
+lastAt(u32 n, At at)
+{
+    lva_assert(n > 0, "lastOf on empty history");
+    return at(n - 1);
+}
+
+/** STRIDE kernel: newest value plus the mean successive delta. */
+template <typename At>
+Value
+strideAt(u32 n, At at)
+{
+    lva_assert(n > 0, "strideOf on empty history");
+    if (n == 1)
+        return at(0);
+    const Value front = at(0);
+    const double first = front.toReal();
+    const double last = at(n - 1).toReal();
+    const double mean_delta =
+        (last - first) / static_cast<double>(n - 1);
+    return Value::ofKind(front.kind(), last + mean_delta);
+}
 
 /**
  * The AVERAGE computation function f over a local history buffer

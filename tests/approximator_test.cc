@@ -10,6 +10,8 @@
 #include <cmath>
 
 #include "core/approximator.hh"
+#include "util/checkpoint.hh"
+#include "util/random.hh"
 
 namespace lva {
 namespace {
@@ -379,6 +381,82 @@ TEST_P(DegreeSweep, FetchFraction)
 
 INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep,
                          ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u));
+
+/**
+ * Value-exact golden: the complete decision/estimate sequence for a
+ * fixed seeded load stream under a deliberately awkward configuration
+ * (GHB context, value delay, degree skipping, tiny aliasing-prone
+ * table, mixed Int64/Float64 kinds, relaxed float window). Every
+ * MissResponse — approximated flag, fetch flag, and the exact bit
+ * pattern plus kind of every generated value — folds into one FNV-1a
+ * digest pinned from the pre-SoA-refactor implementation. The stats
+ * pins cross-check the same run through the counter plane.
+ *
+ * This is stronger than the export-level pins in
+ * refactor_identity_test.cc: a refactor that reorders float summation
+ * or perturbs ring-buffer ages changes a value bit here even if the
+ * aggregated error metrics happen to survive. Recapture (only for an
+ * intentional semantics change) by printing `digest` below.
+ */
+TEST(Approximator, GoldenDecisionSequencePinned)
+{
+    ApproximatorConfig cfg;
+    cfg.tableEntries = 32; // force index conflicts
+    cfg.tableAssoc = 2;    // exercise set LRU
+    cfg.tagBits = 8;       // allow tag aliasing
+    cfg.ghbEntries = 2;    // context hash uses value history
+    cfg.lhbEntries = 4;
+    cfg.confidenceBits = 3;
+    cfg.confidenceWindow = 0.25;
+    cfg.valueDelay = 3;  // trainings land 3 loads late
+    cfg.approxDegree = 2; // fetch skipping on confident entries
+    LoadValueApproximator lva(cfg);
+
+    Rng rng(0xd0'5e'ca'11ULL);
+    u64 digest_state = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    auto fold = [&digest_state](u64 word) {
+        for (int i = 0; i < 8; ++i) {
+            digest_state ^= (word >> (8 * i)) & 0xff;
+            digest_state *= 0x100000001b3ULL;
+        }
+    };
+
+    for (u32 i = 0; i < 4000; ++i) {
+        // 8 load sites; values random-walk per site so AVERAGE over
+        // the LHB is meaningful but never exact.
+        const LoadSiteId pc = 0x400000 + 4 * (rng.next() % 8);
+        const bool isFloat = (pc / 4) % 2 == 0;
+        const i64 step = static_cast<i64>(rng.below(200)) - 100;
+        const Value precise =
+            isFloat ? Value::fromDouble(
+                          static_cast<double>(step) / 7.0 + 50.0)
+                    : Value::fromInt(1000 + step);
+        if (rng.below(8) == 0) { // occasional hit path
+            lva.onHit(pc, precise);
+            fold(0x4u); // hit marker, disjoint from miss codes 0-3
+        } else {
+            const MissResponse r = lva.onMiss(pc, precise);
+            fold((r.approximated ? 2u : 0u) | (r.fetch ? 1u : 0u));
+            if (r.approximated) {
+                fold(r.value.bits());
+                fold(static_cast<u64>(r.value.kind()));
+            }
+        }
+    }
+    lva.drainPending();
+
+    fold(lva.stats().lookups.value());
+    fold(lva.stats().approximations.value());
+    fold(lva.stats().fetchesSkipped.value());
+    fold(lva.stats().trainings.value());
+    fold(lva.stats().allocations.value());
+    fold(lva.stats().confRejects.value());
+    fold(lva.stats().coldRejects.value());
+    fold(lva.stats().staleDrops.value());
+    fold(static_cast<u64>(lva.validEntries()));
+
+    EXPECT_EQ(hexU64(digest_state), "a518fb6a1f4d967c");
+}
 
 } // namespace
 } // namespace lva

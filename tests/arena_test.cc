@@ -34,6 +34,29 @@ TEST(VirtualArena, RegionsNeverShareBlocks)
     }
 }
 
+TEST(VirtualArena, BytesAllocatedCountsFromConstructionBase)
+{
+    // The arena remembers the base it was constructed with;
+    // bytesAllocated() used to default to the standard base and
+    // report garbage for arenas anchored anywhere else.
+    VirtualArena arena(0x8000, 64);
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    arena.allocate(10); // rounds up to one block
+    EXPECT_EQ(arena.bytesAllocated(), 64u);
+    arena.allocate(100); // rounds up to two blocks
+    EXPECT_EQ(arena.bytesAllocated(), 192u);
+    EXPECT_EQ(arena.base(), 0x8000u);
+    EXPECT_EQ(arena.next(), arena.base() + arena.bytesAllocated());
+}
+
+TEST(VirtualArena, BytesAllocatedAtDefaultBase)
+{
+    VirtualArena arena;
+    arena.allocate(64);
+    EXPECT_EQ(arena.bytesAllocated(), 64u);
+    EXPECT_EQ(arena.base(), 0x1000'0000u);
+}
+
 TEST(VirtualArena, DeterministicAcrossInstances)
 {
     VirtualArena a;

@@ -36,7 +36,13 @@ class ManifestTest : public ::testing::Test
     void
     SetUp() override
     {
-        dir_ = fs::temp_directory_path() / "lva_checkpoint_test";
+        // Unique per test case: ctest runs cases as separate parallel
+        // processes, so a shared scratch directory races TearDown of
+        // one case against SetUp of another.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("lva_checkpoint_test_") + info->name());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
         path_ = (dir_ / "m.jsonl").string();

@@ -75,6 +75,34 @@ TEST(HistoryBuffer, ClearResets)
     EXPECT_EQ(buf.newest().asInt(), 9);
 }
 
+TEST(HistoryBuffer, OldestIndexing)
+{
+    HistoryBuffer buf(4);
+    for (int i = 1; i <= 6; ++i) // wraps: holds 3,4,5,6
+        buf.push(Value::fromInt(i));
+    EXPECT_EQ(buf.oldest(0).asInt(), 3);
+    EXPECT_EQ(buf.oldest(1).asInt(), 4);
+    EXPECT_EQ(buf.oldest(3).asInt(), 6);
+}
+
+TEST(HistoryBuffer, OldestMirrorsNewestAtEveryFill)
+{
+    // The in-place indexed reads are what the hot paths use instead
+    // of snapshot(); check them against each other and the snapshot
+    // at every fill level, including partial and post-wrap.
+    HistoryBuffer buf(5);
+    for (int i = 0; i < 13; ++i) {
+        buf.push(Value::fromInt(i));
+        const auto snap = buf.snapshot();
+        ASSERT_EQ(snap.size(), buf.size());
+        for (u32 j = 0; j < buf.size(); ++j) {
+            EXPECT_EQ(buf.oldest(j).asInt(), snap[j].asInt());
+            EXPECT_EQ(buf.oldest(j).asInt(),
+                      buf.newest(buf.size() - 1 - j).asInt());
+        }
+    }
+}
+
 TEST(HistoryBuffer, SnapshotMatchesNewestOrdering)
 {
     HistoryBuffer buf(5);

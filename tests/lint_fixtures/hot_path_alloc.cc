@@ -1,0 +1,21 @@
+// Fixture for the hot-path-alloc rule: allocation-prone constructs
+// are flagged only between lva-hot-path begin/end markers.
+#include <vector>
+
+std::vector<int> before;
+void outside_before() { before.push_back(1); } // not fenced: fine
+
+// lva-hot-path: begin (fixture fence)
+std::vector<int> inside;
+void hot_grow() { inside.push_back(2); }
+void hot_emplace() { inside.emplace_back(3); }
+std::deque<int> hot_queue;
+std::string hot_name;
+int *hot_leak() { return new int(4); }
+void hot_copy(const HistoryBuffer &b) { auto s = b.snapshot(); }
+void hot_fine(int x) { inside[0] = x; } // in-place write: fine
+// lva-lint: allow(hot-path-alloc)
+void hot_tolerated() { inside.push_back(5); }
+// lva-hot-path: end
+
+void outside_after() { before.push_back(6); } // fence closed: fine

@@ -55,7 +55,8 @@ TEST(LintCatalog, ListsEveryRuleExactlyOnce)
     const std::set<std::string> expected = {
         lva::lint::kNoRand, lva::lint::kNoWallClock,
         lva::lint::kNoUnorderedIteration,
-        lva::lint::kNoPointerKeyedOrdered, lva::lint::kNoMutableGlobal};
+        lva::lint::kNoPointerKeyedOrdered, lva::lint::kNoMutableGlobal,
+        lva::lint::kHotPathAlloc};
     EXPECT_EQ(ids, expected);
 }
 
@@ -131,6 +132,40 @@ TEST(LintRules, MutableStaticFixtureSkipsConstAndFunctions)
 
     // util/ owns its synchronisation; the rule is scoped out there.
     EXPECT_TRUE(lintSource("src/util/fixture.cc", src).empty());
+}
+
+TEST(LintRules, HotPathAllocFiresOnlyInsideFences)
+{
+    const auto findings = lintSource("src/core/fixture.cc",
+                                     readFixture("hot_path_alloc.cc"));
+    // Identical push_back calls outside the fence (lines 6 and 21)
+    // never fire; line 18's is silenced by the allow comment.
+    const std::multiset<std::pair<std::string, int>> expected = {
+        {lva::lint::kHotPathAlloc, 10}, // push_back
+        {lva::lint::kHotPathAlloc, 11}, // emplace_back
+        {lva::lint::kHotPathAlloc, 12}, // std::deque
+        {lva::lint::kHotPathAlloc, 13}, // std::string
+        {lva::lint::kHotPathAlloc, 14}, // new
+        {lva::lint::kHotPathAlloc, 15}, // snapshot()
+    };
+    EXPECT_EQ(hits(findings), expected);
+}
+
+TEST(LintRules, HotPathFenceWithoutEndRunsToEof)
+{
+    const std::string src = "// lva-hot-path: begin\n"
+                            "void f(std::vector<int> &v) { v.push_back(1); }\n"
+                            "void g(std::vector<int> &v) { v.resize(9); }\n";
+    EXPECT_EQ(hits(lintSource("src/core/f.cc", src)),
+              (std::multiset<std::pair<std::string, int>>{
+                  {lva::lint::kHotPathAlloc, 2},
+                  {lva::lint::kHotPathAlloc, 3}}));
+
+    // No markers at all: the rule never looks at the file.
+    EXPECT_TRUE(
+        lintSource("src/core/g.cc",
+                   "void h(std::vector<int> &v) { v.push_back(1); }\n")
+            .empty());
 }
 
 TEST(LintSuppression, AllowCommentsSilenceEveryRule)

@@ -47,8 +47,8 @@ TEST(Region, LoadRoutesThroughBackendAndCanClobber)
     {
       public:
         Value
-        load(ThreadId, LoadSiteId, Addr, const Value &precise,
-             bool approximable, bool) override
+        loadVirtual(ThreadId, LoadSiteId, Addr, const Value &precise,
+                    bool approximable, bool) override
         {
             return approximable ? Value::fromInt(7) : precise;
         }
@@ -91,8 +91,8 @@ TEST(Region, KindsMatchElementTypes)
     {
       public:
         Value
-        load(ThreadId, LoadSiteId, Addr, const Value &precise, bool,
-             bool) override
+        loadVirtual(ThreadId, LoadSiteId, Addr, const Value &precise,
+                    bool, bool) override
         {
             lastKind = precise.kind();
             return precise;
@@ -120,8 +120,8 @@ TEST(Region, DependentFlagReachesBackend)
     {
       public:
         Value
-        load(ThreadId, LoadSiteId, Addr, const Value &precise, bool,
-             bool dependent) override
+        loadVirtual(ThreadId, LoadSiteId, Addr, const Value &precise,
+                    bool, bool dependent) override
         {
             sawDependent = dependent;
             return precise;

@@ -284,7 +284,12 @@ class CheckpointSweepTest : public RobustSweepTest
     void
     SetUp() override
     {
-        dir_ = fs::temp_directory_path() / "lva_robust_ckpt";
+        // Unique per test case: parallel ctest processes would
+        // otherwise race on a shared scratch directory.
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("lva_robust_ckpt_") + info->name());
         fs::remove_all(dir_);
         ::setenv("LVA_RESULTS_DIR", dir_.c_str(), 1);
     }

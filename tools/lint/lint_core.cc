@@ -386,6 +386,84 @@ checkMutableGlobal(FileCtx &ctx, const Options &opts)
     }
 }
 
+// ---------------------------------------------------------------------
+// hot-path-alloc: allocation-prone constructs inside lva-hot-path
+// fences.  The fence markers live in comments, so they are parsed
+// from the raw source; the token scan runs over the stripped text.
+// ---------------------------------------------------------------------
+
+/**
+ * 1-based line membership of `// lva-hot-path: begin` ... `end`
+ * fences.  Only whole-line comments count as markers (so the marker
+ * text inside string literals — this file's own tests, say — does
+ * not open a fence).  An unmatched begin extends to end of file; an
+ * unmatched end is ignored.
+ */
+std::vector<bool>
+hotPathFenceLines(const std::string &source, int lastLine)
+{
+    std::vector<bool> fenced(static_cast<std::size_t>(lastLine) + 2,
+                             false);
+    static const std::regex marker(
+        R"(^\s*//.*lva-hot-path:\s*(begin|end))");
+    int line = 1;
+    int openAt = 0; // 0 = not inside a fence
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+        std::size_t eol = source.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = source.size();
+        const std::string text = source.substr(pos, eol - pos);
+        std::smatch m;
+        if (std::regex_search(text, m, marker)) {
+            if (m[1] == "begin") {
+                if (openAt == 0)
+                    openAt = line;
+            } else if (openAt != 0) {
+                for (int l = openAt; l <= line; ++l)
+                    fenced[static_cast<std::size_t>(l)] = true;
+                openAt = 0;
+            }
+        }
+        if (eol == source.size())
+            break;
+        pos = eol + 1;
+        ++line;
+    }
+    if (openAt != 0)
+        for (int l = openAt; l <= lastLine; ++l)
+            fenced[static_cast<std::size_t>(l)] = true;
+    return fenced;
+}
+
+void
+checkHotPathAlloc(FileCtx &ctx, const std::string &source)
+{
+    if (source.find("lva-hot-path:") == std::string::npos)
+        return;
+    const std::vector<bool> fenced = hotPathFenceLines(
+        source, ctx.lineOf.empty() ? 1 : ctx.lineOf.back());
+
+    // Allocation-prone constructs: container growth, the allocating
+    // snapshot() copy, node containers, string building, smart-pointer
+    // factories and raw new.  The per-load fast paths use fixed rings
+    // and in-place indexed reads instead (docs/performance.md).
+    static const std::regex re(
+        R"(\b(?:push_back|emplace_back|emplace|push_front|snapshot|resize|reserve|to_string)\s*\(|\bstd\s*::\s*(?:deque|list|string|ostringstream|stringstream|function)\b|\bmake_unique\b|\bmake_shared\b|\bnew\s+[A-Za-z_(])");
+    for (auto it = std::sregex_iterator(ctx.stripped.begin(),
+                                        ctx.stripped.end(), re);
+         it != std::sregex_iterator(); ++it) {
+        const auto off = static_cast<std::size_t>(it->position());
+        const int line = ctx.lineOf[std::min(off, ctx.stripped.size())];
+        if (fenced[static_cast<std::size_t>(line)])
+            ctx.emit(off, kHotPathAlloc,
+                     "allocation-prone construct inside an "
+                     "lva-hot-path fence (use fixed rings / in-place "
+                     "reads; docs/performance.md):" +
+                         (" '" + it->str() + "'"));
+    }
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -409,6 +487,11 @@ ruleCatalog()
          "bans non-const static/global data; sweep workers share the "
          "process, so hidden mutable state breaks jobs-count "
          "independence"},
+        {kHotPathAlloc, "inside lva-hot-path fences",
+         "bans allocation-prone constructs (push_back/emplace/"
+         "snapshot()/std::deque/std::string/make_unique/new/...) "
+         "between lva-hot-path begin/end markers; the per-load paths "
+         "must stay allocation-free (docs/performance.md)"},
     };
     return catalog;
 }
@@ -429,6 +512,7 @@ lintSource(const std::string &relPath, const std::string &source,
     checkPointerKeyedOrdered(ctx);
     checkUnorderedIteration(ctx, opts);
     checkMutableGlobal(ctx, opts);
+    checkHotPathAlloc(ctx, source);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -21,6 +21,11 @@
  * placed on the offending line or on the line directly above it;
  * `allow(all)` suppresses every rule.  clang-tidy (scripts/lint.sh)
  * remains the deep-semantics companion pass where available.
+ *
+ * Performance fences: regions bracketed by `// lva-hot-path: begin`
+ * and `// lva-hot-path: end` comments (docs/performance.md) are
+ * additionally checked for allocation-prone constructs — the per-load
+ * paths must stay allocation-free.
  */
 
 #ifndef LVA_TOOLS_LINT_LINT_CORE_HH
@@ -54,6 +59,7 @@ inline constexpr char kNoWallClock[] = "no-wall-clock";
 inline constexpr char kNoUnorderedIteration[] = "no-unordered-iteration";
 inline constexpr char kNoPointerKeyedOrdered[] = "no-pointer-keyed-ordered";
 inline constexpr char kNoMutableGlobal[] = "no-mutable-global";
+inline constexpr char kHotPathAlloc[] = "hot-path-alloc";
 
 /** The full rule catalog, in stable display order. */
 const std::vector<RuleInfo> &ruleCatalog();
