@@ -7,6 +7,8 @@
 #   3. docs/reproducing.md drivers markers  <->  bench/*.cc basenames
 #   4. docs/performance.md hotpath markers  <->  sources fenced with
 #                                               "lva-hot-path: begin"
+#   5. docs/serving.md     serve-stats markers <-> the serve.* subtree
+#                                               of the catalog dump
 #
 # Every documented entry must exist in the code and every code entry
 # must be documented; either direction failing fails the script.
@@ -95,5 +97,16 @@ grep -rlE '^[[:space:]]*//.*lva-hot-path: begin' src tools bench \
 doc_entries docs/performance.md hotpath > "$workdir/hotpath.doc"
 check hotpath docs/performance.md \
       "$workdir/hotpath.code" "$workdir/hotpath.doc" "hot-path fences"
+
+# 5. Serving stats: the serve.* / serve.cache.* subtree of the
+#    registry dump vs the serve-stats table in docs/serving.md, so
+#    the serving doc always describes exactly the counters the fleet
+#    exports (the full catalog in docs/metrics.md is gate 1; this
+#    pins the serving doc's own copy both ways).
+"$CATALOG_BIN" | cut -f1 | grep '^serve\.' \
+    | LC_ALL=C sort -u > "$workdir/serve.code"
+doc_entries docs/serving.md serve-stats > "$workdir/serve.doc"
+check serve-stats docs/serving.md \
+      "$workdir/serve.code" "$workdir/serve.doc" "serving stat paths"
 
 exit "$status"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Smoke test for the evaluation daemon (docs/serving.md): prove that a
-# sweep submitted through lva_served/lva_client returns the exact bytes
-# the bench driver writes to results/stats/<driver>.json.
+# Smoke test for the evaluation daemon and fleet (docs/serving.md):
+# prove that a sweep submitted through lva_served/lva_client — or
+# through the lva_fleet frontend at any fleet size — returns the exact
+# bytes the bench driver writes to results/stats/<driver>.json.
 #
 # For LVA_JOBS in {1, 4}:
 #   1. run build/bench/fig5_ghb_error directly (the reference export),
@@ -10,6 +11,17 @@
 #   4. cmp(1) both served exports against the driver's file,
 #   5. SIGTERM the daemon and require a drained exit 0.
 #
+# Then for fleet sizes {1, 3} (the scale-out byte-identity recipe,
+# docs/serving.md):
+#   6. start lva_fleet with a 2-entry golden cache per worker (the
+#      28-point grid spans 7 workloads, so evictions are guaranteed),
+#   7. on the 3-worker leg, arm LVA_FLEET_FAULT so the worker that
+#      receives the sweep aborts mid-request — the frontend must
+#      respawn it and the retried request must still match,
+#   8. cmp(1) both served exports against the same reference,
+#   9. on the 1-worker leg, require serve.cache.evictions > 0 via the
+#      stats op, then SIGTERM and require a drained exit 0.
+#
 # Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,9 +29,10 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 SERVED="$BUILD/tools/lva_served"
 CLIENT="$BUILD/tools/lva_client"
+FLEET="$BUILD/tools/lva_fleet"
 DRIVER="$BUILD/bench/fig5_ghb_error"
 
-for bin in "$SERVED" "$CLIENT" "$DRIVER"; do
+for bin in "$SERVED" "$CLIENT" "$FLEET" "$DRIVER"; do
     if [[ ! -x "$bin" ]]; then
         echo "serve_smoke: $bin not built (cmake --build $BUILD)" >&2
         exit 1
@@ -112,6 +125,99 @@ for jobs in 1 4; do
         exit 1
     fi
     echo "serve_smoke: LVA_JOBS=$jobs — SIGTERM drained, exit 0"
+done
+
+# ---- fleet legs: byte-identity across fleet sizes, a squeezed golden
+# cache, and an injected worker kill --------------------------------
+reference="$work/direct1/stats/fig5_ghb_error.json"
+
+for fleet in 1 3; do
+    log="$work/fleet$fleet.log"
+    fault=""
+    if [[ "$fleet" -eq 3 ]]; then
+        # Every worker's FIRST incarnation dies on its first request;
+        # respawns come up clean (the frontend never re-arms them).
+        fault='*:serve.request.0=abort'
+    fi
+    echo "serve_smoke: fleet=$fleet — starting frontend" \
+         "(cache 2, fault '${fault:-none}')"
+    LVA_JOBS=2 LVA_FLEET_FAULT="$fault" \
+        "$FLEET" --port 0 --fleet "$fleet" --cache 2 > "$log" 2>&1 &
+    daemon_pid=$!
+
+    port=""
+    for _ in $(seq 1 200); do
+        port="$(grep -oE 'lva_fleet: listening on 127\.0\.0\.1:[0-9]+' \
+                "$log" 2>/dev/null | grep -oE '[0-9]+$' || true)"
+        [[ -n "$port" ]] && break
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "serve_smoke: fleet died at startup:" >&2
+            sed 's/^/  /' "$log" >&2
+            exit 1
+        fi
+        sleep 0.05
+    done
+    if [[ -z "$port" ]]; then
+        echo "serve_smoke: fleet never announced its port" >&2
+        exit 1
+    fi
+
+    echo "serve_smoke: fleet=$fleet — two concurrent served sweeps" \
+         "(port $port)"
+    "$CLIENT" --port "$port" sweep --driver fig5_ghb_error \
+        --points "$points" --out "$work/fleet$fleet.a.json" \
+        2> /dev/null &
+    client_a=$!
+    "$CLIENT" --port "$port" sweep --driver fig5_ghb_error \
+        --points "$points" --out "$work/fleet$fleet.b.json" \
+        2> /dev/null &
+    client_b=$!
+    wait "$client_a"
+    wait "$client_b"
+
+    cmp "$reference" "$work/fleet$fleet.a.json"
+    cmp "$reference" "$work/fleet$fleet.b.json"
+    echo "serve_smoke: fleet=$fleet — served exports byte-identical"
+
+    if [[ "$fleet" -eq 3 ]]; then
+        if ! grep -q 'respawning' "$log"; then
+            echo "serve_smoke: expected a worker kill + respawn:" >&2
+            sed 's/^/  /' "$log" >&2
+            exit 1
+        fi
+        echo "serve_smoke: fleet=3 — killed worker was respawned"
+    else
+        # Single worker: the stats op lands on the worker that served
+        # the sweeps, whose 2-entry cache must have evicted goldens
+        # (7 workloads crossed it).
+        "$CLIENT" --port "$port" stats > "$work/fleet1.stats.json"
+        evictions="$(grep -o '"serve.cache.evictions": *{[^}]*}' \
+            "$work/fleet1.stats.json" \
+            | grep -o '"value": *[0-9.]*' | grep -oE '[0-9.]+' || true)"
+        if [[ -z "$evictions" || "${evictions%%.*}" -le 0 ]]; then
+            echo "serve_smoke: expected evictions > 0, got" \
+                 "'${evictions:-missing}'" >&2
+            exit 1
+        fi
+        echo "serve_smoke: fleet=1 — $evictions evictions under the" \
+             "2-entry cache"
+    fi
+
+    kill -TERM "$daemon_pid"
+    rc=0
+    wait "$daemon_pid" || rc=$?
+    daemon_pid=""
+    if [[ "$rc" -ne 0 ]]; then
+        echo "serve_smoke: fleet exited $rc on SIGTERM (want 0):" >&2
+        sed 's/^/  /' "$log" >&2
+        exit 1
+    fi
+    if ! grep -q 'lva_fleet: drained, exiting' "$log"; then
+        echo "serve_smoke: fleet did not log its drain:" >&2
+        sed 's/^/  /' "$log" >&2
+        exit 1
+    fi
+    echo "serve_smoke: fleet=$fleet — SIGTERM drained, exit 0"
 done
 
 echo "serve_smoke: OK"

@@ -1,7 +1,9 @@
 #include "eval/evaluator.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <numeric>
 
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -110,38 +112,164 @@ Evaluator::preciseConfig()
     return cfg;
 }
 
-const Evaluator::Golden &
+std::size_t
+goldenEvictionVictim(const std::vector<GoldenEvictionCandidate> &candidates)
+{
+    lva_assert(!candidates.empty(), "eviction with no candidates");
+
+    // LRU order first; lastUse stamps are unique (a single use clock
+    // issues them), so the order — and therefore the victim — is
+    // deterministic.
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return candidates[a].lastUse < candidates[b].lastUse;
+              });
+
+    // Within the ceil(n/4) least-recently-used window, evict the
+    // cheapest rebuild; strictly-lower cost only, so cost ties keep
+    // the older entry.
+    const std::size_t window = (candidates.size() + 3) / 4;
+    std::size_t best = order[0];
+    for (std::size_t i = 1; i < window; ++i) {
+        const std::size_t idx = order[i];
+        if (candidates[idx].cost < candidates[best].cost)
+            best = idx;
+    }
+    return best;
+}
+
+void
+Evaluator::enforceCapacityLocked()
+{
+    if (capacity_ == 0)
+        return;
+    for (;;) {
+        // Only Ready slots are candidates: a Building slot has a
+        // waiter about to need it, an Empty one holds no golden.
+        std::vector<std::pair<std::string, u64>> keys;
+        std::vector<GoldenEvictionCandidate> candidates;
+        for (const auto &kv : goldens_) {
+            if (kv.second->state == GoldenSlot::State::Ready) {
+                keys.push_back(kv.first);
+                candidates.push_back(
+                    {kv.second->lastUse, kv.second->cost});
+            }
+        }
+        if (candidates.size() <= capacity_)
+            return;
+        // Erasing the map entry only drops the map's reference;
+        // readers that acquired the golden before this eviction keep
+        // it alive through their own shared_ptr.
+        goldens_.erase(keys[goldenEvictionVictim(candidates)]);
+        ++counters_.evictions;
+    }
+}
+
+void
+Evaluator::setGoldenCacheCapacity(u64 entries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = entries;
+    enforceCapacityLocked();
+}
+
+GoldenCacheCounters
+Evaluator::goldenCacheCounters()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    GoldenCacheCounters c = counters_;
+    c.capacity = capacity_;
+    c.size = 0;
+    for (const auto &kv : goldens_)
+        if (kv.second->state == GoldenSlot::State::Ready)
+            ++c.size;
+    return c;
+}
+
+std::vector<std::pair<std::string, u64>>
+Evaluator::goldenResidentKeys()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, u64>> keys;
+    for (const auto &kv : goldens_)
+        if (kv.second->state == GoldenSlot::State::Ready)
+            keys.push_back(kv.first);
+    return keys;
+}
+
+std::shared_ptr<const Evaluator::Golden>
 Evaluator::golden(const std::string &name, WorkloadFactory factory,
                   u64 seed)
 {
-    GoldenSlot *slot;
+    const auto key = std::make_pair(name, seed);
+    std::shared_ptr<GoldenSlot> slot;
     {
-        // std::map never relocates nodes, so the reference stays
-        // valid while concurrent callers insert other slots.
-        std::lock_guard<std::mutex> lock(mutex_);
-        slot = &goldens_[std::make_pair(name, seed)];
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            auto &entry = goldens_[key];
+            if (!entry)
+                entry = std::make_shared<GoldenSlot>();
+            slot = entry;
+            if (slot->state == GoldenSlot::State::Ready) {
+                slot->lastUse = ++useClock_;
+                ++counters_.hits;
+                return {slot, &slot->golden};
+            }
+            if (slot->state == GoldenSlot::State::Empty) {
+                // This caller becomes the single-flight builder.
+                slot->state = GoldenSlot::State::Building;
+                ++counters_.misses;
+                break;
+            }
+            // Another caller is building this golden; coalesce onto
+            // its run instead of duplicating the precise work.  On
+            // wake the slot is Ready, or Empty again (failed build) —
+            // and possibly already evicted from the map — so restart
+            // the lookup from scratch.
+            ++counters_.coalesced;
+            cv_.wait(lock, [&] {
+                return slot->state != GoldenSlot::State::Building;
+            });
+        }
     }
 
-    std::call_once(slot->once, [&] {
-        // An exception here (including an injected one) leaves the
-        // once_flag unset, so a retried point rebuilds the baseline
-        // instead of latching a broken slot forever.
+    // Build outside the lock: the precise run is the expensive part,
+    // and concurrent builds of *different* goldens must proceed.
+    Golden g;
+    try {
+        // An exception here (including an injected one) steps the
+        // slot back to Empty, so a retried point rebuilds the
+        // baseline instead of latching a broken slot forever.
         faultPoint("eval.golden." + name);
 
         WorkloadParams params;
         params.seed = seed;
         params.scale = scale_;
 
-        Golden &g = slot->golden;
         g.workload = factory(params);
         g.workload->generate();
         ApproxMemory mem(preciseConfig());
         g.workload->run(mem);
         g.metrics = mem.metrics();
         g.stats = mem.snapshot();
-    });
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot->state = GoldenSlot::State::Empty;
+        cv_.notify_all();
+        throw;
+    }
 
-    return slot->golden;
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot->golden = std::move(g);
+    slot->state = GoldenSlot::State::Ready;
+    slot->lastUse = ++useClock_;
+    slot->cost = slot->golden.metrics.instructions;
+    ++counters_.builds;
+    enforceCapacityLocked();
+    cv_.notify_all();
+    return {slot, &slot->golden};
 }
 
 EvalResult
@@ -166,7 +294,10 @@ Evaluator::evaluate(const std::string &name,
 
     for (u32 s = 0; s < seeds_; ++s) {
         const u64 seed = 1 + s;
-        const Golden &base = golden(name, factory, seed);
+        // Holding the shared_ptr keeps this golden valid for the
+        // whole seed body even if the cache evicts it concurrently.
+        const std::shared_ptr<const Golden> base =
+            golden(name, factory, seed);
 
         params.seed = seed;
 
@@ -180,9 +311,9 @@ Evaluator::evaluate(const std::string &name,
         // sweep points are scheduled across threads.
         avg.stats.merge(mem.snapshot());
 
-        const double base_mpki = base.metrics.mpki();
+        const double base_mpki = base->metrics.mpki();
         const double base_fetches =
-            static_cast<double>(base.metrics.fetches);
+            static_cast<double>(base->metrics.fetches);
         const double my_mpki = m.mpki();
         const double my_fetches = static_cast<double>(m.fetches);
 
@@ -195,10 +326,10 @@ Evaluator::evaluate(const std::string &name,
         sum_fetches += my_fetches;
         sum_norm_fetches +=
             base_fetches > 0.5 ? my_fetches / base_fetches : 1.0;
-        sum_error += w->outputErrorVs(*base.workload);
+        sum_error += w->outputErrorVs(*base->workload);
         sum_coverage += m.coverage();
         const double base_instr =
-            static_cast<double>(base.metrics.instructions);
+            static_cast<double>(base->metrics.instructions);
         sum_var += base_instr > 0.0
                        ? std::fabs(static_cast<double>(m.instructions) -
                                    base_instr) / base_instr
@@ -230,11 +361,12 @@ Evaluator::evaluatePrecise(const std::string &name)
     double sum_fetches = 0.0;
     const WorkloadFactory factory = findWorkloadFactory(name);
     for (u32 s = 0; s < seeds_; ++s) {
-        const Golden &base = golden(name, factory, 1 + s);
-        sum_mpki += base.metrics.mpki();
-        sum_instr += static_cast<double>(base.metrics.instructions);
-        sum_fetches += static_cast<double>(base.metrics.fetches);
-        avg.stats.merge(base.stats);
+        const std::shared_ptr<const Golden> base =
+            golden(name, factory, 1 + s);
+        sum_mpki += base->metrics.mpki();
+        sum_instr += static_cast<double>(base->metrics.instructions);
+        sum_fetches += static_cast<double>(base->metrics.fetches);
+        avg.stats.merge(base->stats);
     }
     const double n = static_cast<double>(seeds_);
     avg.preciseMpki = avg.mpki = sum_mpki / n;

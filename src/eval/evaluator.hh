@@ -9,10 +9,12 @@
 #ifndef LVA_EVAL_EVALUATOR_HH
 #define LVA_EVAL_EVALUATOR_HH
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/approx_memory.hh"
@@ -71,6 +73,44 @@ void applyEvalDerived(StatSnapshot &snap, const EvalResult &r);
 const std::vector<EvalMetricDef> &workloadStaticDefs();
 
 /**
+ * Monotonic totals of the golden-cache lifecycle (docs/serving.md has
+ * the state diagram). A snapshot, readable at any time; the serving
+ * layer exports it as the "serve.cache.*" subtree and tests assert
+ * single-flight with it (K concurrent requests needing the same
+ * golden must yield builds == 1).
+ */
+struct GoldenCacheCounters
+{
+    u64 hits = 0;      ///< acquisitions answered by a ready slot
+    u64 misses = 0;    ///< acquisitions that initiated a precise run
+    u64 builds = 0;    ///< precise runs actually completed
+    u64 coalesced = 0; ///< acquisitions that waited on another
+                       ///< caller's in-flight build (single-flight)
+    u64 evictions = 0; ///< ready slots discarded by capacity pressure
+    u64 size = 0;      ///< resident entries right now
+    u64 capacity = 0;  ///< configured bound (0 = unbounded)
+};
+
+/** One eviction candidate as the policy sees it. */
+struct GoldenEvictionCandidate
+{
+    u64 lastUse = 0; ///< logical LRU stamp (higher = more recent)
+    u64 cost = 0;    ///< rebuild cost (precise-run instructions)
+};
+
+/**
+ * The cost-aware LRU victim policy, exposed as a pure function so
+ * tests can pin it with synthetic candidates: consider the
+ * ceil(n/4) least-recently-used candidates (so the MRU entry is
+ * never evicted) and evict the *cheapest to rebuild* among them —
+ * a stale-but-expensive golden survives over a stale-and-cheap one.
+ * Ties fall back to strict LRU order. Returns an index into
+ * @p candidates; @p candidates must be non-empty.
+ */
+std::size_t goldenEvictionVictim(
+    const std::vector<GoldenEvictionCandidate> &candidates);
+
+/**
  * Runs and caches evaluations.
  *
  * Golden (precise) runs are memoized per (workload, seed): every sweep
@@ -78,13 +118,24 @@ const std::vector<EvalMetricDef> &workloadStaticDefs();
  * error comparison, exactly as the paper normalizes each benchmark to
  * its own precise execution.
  *
+ * The memoization is a real cache with a lifecycle, not an unbounded
+ * map: setGoldenCacheCapacity() bounds resident entries (the daemon
+ * wires LVA_SERVE_CACHE here), eviction is cost-aware LRU
+ * (goldenEvictionVictim), and builds are *single-flight* — concurrent
+ * callers needing the same (workload, seed) block on the one caller
+ * performing the precise run instead of duplicating it. Because every
+ * golden is a deterministic function of (workload, seed, scale), an
+ * evicted entry rebuilds bit-identically, so results never depend on
+ * cache capacity or eviction schedule (pinned by
+ * tests/golden_cache_test.cc).
+ *
  * Thread safety: evaluate()/evaluatePrecise() may be called
- * concurrently (the SweepRunner does). The golden cache is a std::map
- * guarded by a mutex for slot creation; each slot carries a
- * std::once_flag so exactly one caller performs the precise run while
- * concurrent callers for the same (workload, seed) block on the latch
- * instead of duplicating it. std::map's node stability keeps slot
- * references valid while other threads grow the map.
+ * concurrently (the SweepRunner does). Slots are shared_ptr-owned, so
+ * an eviction never invalidates a golden another thread is still
+ * reading; a slot mid-build is never an eviction candidate. A failed
+ * build (including an injected fault) returns the slot to Empty, so a
+ * retried point rebuilds the baseline instead of latching a broken
+ * slot forever.
  */
 class Evaluator
 {
@@ -114,6 +165,22 @@ class Evaluator
     /** A precise (no-mechanism) configuration. */
     static ApproxMemory::Config preciseConfig();
 
+    /**
+     * Bound the golden cache to @p entries resident goldens (0 =
+     * unbounded, the default and the standalone-driver behavior).
+     * Shrinking below the current population evicts immediately.
+     */
+    void setGoldenCacheCapacity(u64 entries);
+
+    /** Lifecycle totals since construction (see GoldenCacheCounters). */
+    GoldenCacheCounters goldenCacheCounters();
+
+    /**
+     * Resident (Ready) cache keys in deterministic (map) order — a
+     * test window into the eviction schedule, not a consumer API.
+     */
+    std::vector<std::pair<std::string, u64>> goldenResidentKeys();
+
   private:
     struct Golden
     {
@@ -122,20 +189,36 @@ class Evaluator
         StatSnapshot stats;
     };
 
-    /** One memoization slot; the flag latches concurrent builders. */
+    /**
+     * One cache slot walking Empty -> Building -> Ready under mutex_;
+     * a failed build steps back to Empty (docs/serving.md diagrams
+     * the lifecycle). shared_ptr ownership keeps an evicted golden
+     * alive for readers that acquired it before the eviction.
+     */
     struct GoldenSlot
     {
-        std::once_flag once;
+        enum class State { Empty, Building, Ready };
+        State state = State::Empty;
         Golden golden;
+        u64 lastUse = 0; ///< logical use-clock stamp (LRU order)
+        u64 cost = 0;    ///< precise-run dynamic instructions
     };
 
-    const Golden &golden(const std::string &workload,
-                         WorkloadFactory factory, u64 seed);
+    std::shared_ptr<const Golden> golden(const std::string &workload,
+                                         WorkloadFactory factory, u64 seed);
+
+    /** Evict until size <= capacity; call with mutex_ held. */
+    void enforceCapacityLocked();
 
     u32 seeds_;
     double scale_;
-    std::mutex mutex_; ///< guards goldens_ slot creation only
-    std::map<std::pair<std::string, u64>, GoldenSlot> goldens_;
+    std::mutex mutex_; ///< guards goldens_ and all slot fields
+    std::condition_variable cv_; ///< signals Building -> Ready/Empty
+    std::map<std::pair<std::string, u64>, std::shared_ptr<GoldenSlot>>
+        goldens_;
+    u64 useClock_ = 0;     ///< advances on every acquisition
+    u64 capacity_ = 0;     ///< 0 = unbounded
+    GoldenCacheCounters counters_{};
 };
 
 } // namespace lva

@@ -1,10 +1,12 @@
 #include "eval/service.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "util/checkpoint.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/stats_json.hh"
@@ -98,12 +100,64 @@ rpcSchema()
     return "lva-rpc-v1";
 }
 
+u64
+busyRetryAfterMs()
+{
+    return 100;
+}
+
 std::string
 busyResponse()
 {
     return std::string("{\"schema\":") + jsonQuote(rpcSchema()) +
-           ",\"ok\":false,\"busy\":true,"
-           "\"error\":\"server at capacity\"}";
+           ",\"ok\":false,\"busy\":true,\"retryAfterMs\":" +
+           std::to_string(busyRetryAfterMs()) +
+           ",\"error\":\"server at capacity\"}";
+}
+
+std::string
+fleetRouteKey(const std::string &requestJson)
+{
+    try {
+        const JsonValue req = parseJson(requestJson);
+        const std::string op = req.at("op").asString();
+        if (op == "eval")
+            return req.at("workload").asString();
+        if (op == "sweep") {
+            std::vector<std::string> names;
+            for (const JsonValue &p : req.at("points").items)
+                names.push_back(p.at("workload").asString());
+            std::sort(names.begin(), names.end());
+            names.erase(std::unique(names.begin(), names.end()),
+                        names.end());
+            std::string key;
+            for (const std::string &n : names) {
+                if (!key.empty())
+                    key += ',';
+                key += n;
+            }
+            return key;
+        }
+        return "op:" + op;
+    } catch (const std::exception &) {
+        return "op:invalid";
+    }
+}
+
+u32
+fleetShard(const std::string &key, u32 shards)
+{
+    lva_assert(shards > 0, "fleetShard: no shards");
+    u32 best = 0;
+    u64 bestScore = 0;
+    for (u32 i = 0; i < shards; ++i) {
+        const u64 score = fnv1a64(key + "#" + std::to_string(i));
+        if (i == 0 || score > bestScore) {
+            best = i;
+            bestScore = score;
+        }
+    }
+    return best;
 }
 
 ServeOptions
@@ -128,6 +182,8 @@ resolveServeOptions(ServeOptions opts)
     if (opts.maxAttempts == 0)
         opts.maxAttempts =
             1 + static_cast<u32>(envU64("LVA_SERVE_RETRIES", 0));
+    if (opts.cacheCap == 0)
+        opts.cacheCap = envU64("LVA_SERVE_CACHE", 0);
     return opts;
 }
 
@@ -154,7 +210,29 @@ ServeStats::ServeStats()
           "attempts")),
       queueDepth_(registry_.gauge(
           "serve.queueDepth",
-          "accepted connections waiting for a handler", "connections"))
+          "accepted connections waiting for a handler", "connections")),
+      cacheHits_(registry_.counter(
+          "serve.cache.hits", "golden acquisitions served from cache",
+          "goldens")),
+      cacheMisses_(registry_.counter(
+          "serve.cache.misses",
+          "golden acquisitions that initiated a precise run",
+          "goldens")),
+      cacheBuilds_(registry_.counter("serve.cache.builds",
+                                     "precise golden runs completed",
+                                     "goldens")),
+      cacheCoalesced_(registry_.counter(
+          "serve.cache.coalesced",
+          "golden acquisitions coalesced onto an in-flight build",
+          "goldens")),
+      cacheEvictions_(registry_.counter(
+          "serve.cache.evictions",
+          "goldens evicted by capacity pressure", "goldens")),
+      cacheSize_(registry_.gauge("serve.cache.size",
+                                 "resident goldens", "goldens")),
+      cacheCapacity_(registry_.gauge(
+          "serve.cache.capacity",
+          "golden-cache bound (0 = unbounded)", "goldens"))
 {
 }
 
@@ -205,6 +283,20 @@ ServeStats::setQueueDepth(std::size_t depth)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     queueDepth_.set(static_cast<double>(depth));
+}
+
+void
+ServeStats::syncGoldenCache(const GoldenCacheCounters &c)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cacheHits_.inc(c.hits - lastCache_.hits);
+    cacheMisses_.inc(c.misses - lastCache_.misses);
+    cacheBuilds_.inc(c.builds - lastCache_.builds);
+    cacheCoalesced_.inc(c.coalesced - lastCache_.coalesced);
+    cacheEvictions_.inc(c.evictions - lastCache_.evictions);
+    cacheSize_.set(static_cast<double>(c.size));
+    cacheCapacity_.set(static_cast<double>(c.capacity));
+    lastCache_ = c;
 }
 
 StatSnapshot
@@ -328,6 +420,8 @@ EvalService::EvalService(u32 seeds, double scale,
     // race-free.
     ::unsetenv("LVA_CHECKPOINT");
     ::unsetenv("LVA_RESUME");
+
+    eval_.setGoldenCacheCapacity(resolveServeOptions(opts).cacheCap);
 }
 
 std::string
@@ -406,6 +500,7 @@ EvalService::handlePing() const
 std::string
 EvalService::handleStats()
 {
+    stats_.syncGoldenCache(eval_.goldenCacheCounters());
     return okPrefix("stats") +
            ",\"serve\":" + snapshotToJson(stats_.snapshot()) + "}";
 }

@@ -48,8 +48,34 @@ namespace lva {
 /** The RPC schema tag carried by every request and response. */
 const char *rpcSchema();
 
+/**
+ * Delay clients should wait before retrying a shed request, carried
+ * as the busy response's "retryAfterMs" member. A fixed constant, not
+ * a knob: deterministic backoff is what keeps fleet runs reproducible
+ * (docs/serving.md, "Admission control").
+ */
+u64 busyRetryAfterMs();
+
 /** The canned at-capacity response (sent by the accept loop). */
 std::string busyResponse();
+
+/**
+ * Routing key for a request payload: sweeps and evals key on their
+ * (sorted, deduplicated) workload set so every request touching a
+ * workload's goldens lands on the shard whose cache holds them;
+ * control ops (ping/stats) key on the op name. Malformed payloads
+ * get a stable fallback key — the worker will reject them anyway.
+ */
+std::string fleetRouteKey(const std::string &requestJson);
+
+/**
+ * Rendezvous (highest-random-weight) hash: the shard in [0, shards)
+ * whose fnv1a64(key "#" shard) score is highest. Every frontend
+ * computes the same mapping with no shared state, and removing a
+ * shard only remaps the keys that were on it — the property that
+ * keeps sibling caches hot across worker respawns.
+ */
+u32 fleetShard(const std::string &key, u32 shards);
 
 /**
  * Serving policy. Field defaults of 0 defer to the LVA_SERVE_* knobs
@@ -81,6 +107,11 @@ struct ServeOptions
     /** Sweep-pool worker threads (0 = LVA_JOBS, then hardware).
      *  Exports are byte-identical for any value. */
     u32 jobs = 0;
+
+    /** Golden-cache capacity in entries (LVA_SERVE_CACHE; 0 = the
+     *  knob, and an unset knob means unbounded). Exports are
+     *  byte-identical for any capacity — see docs/serving.md. */
+    u64 cacheCap = 0;
 };
 
 /** Resolve @p opts against the LVA_SERVE_* knobs and defaults. */
@@ -109,6 +140,13 @@ class ServeStats
 
     void setQueueDepth(std::size_t depth);
 
+    /**
+     * Mirror the evaluator's golden-cache lifecycle totals into the
+     * "serve.cache.*" subtree (counters advance by delta — registry
+     * counters are monotonic; size/capacity are gauges).
+     */
+    void syncGoldenCache(const GoldenCacheCounters &c);
+
     /** Path-sorted snapshot of the serve.* subtree. */
     StatSnapshot snapshot() const;
 
@@ -122,6 +160,14 @@ class ServeStats
     Counter &failures_;
     Counter &retries_;
     Gauge &queueDepth_;
+    Counter &cacheHits_;
+    Counter &cacheMisses_;
+    Counter &cacheBuilds_;
+    Counter &cacheCoalesced_;
+    Counter &cacheEvictions_;
+    Gauge &cacheSize_;
+    Gauge &cacheCapacity_;
+    GoldenCacheCounters lastCache_{}; ///< last synced totals (deltas)
 };
 
 /**

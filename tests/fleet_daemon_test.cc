@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Cross-process acceptance tests for the lva_fleet frontend: real
+ * forked processes, real sockets, real kills. Pins ISSUE 7's
+ * scale-out criteria — a fleet of any size answers sweep requests
+ * with bytes identical to the direct driver export, a worker killed
+ * by an injected fault is respawned and the rerouted request still
+ * matches, and SIGTERM / `shutdown` drain the whole tree cleanly.
+ *
+ * Binary paths arrive via the LVA_FLEET_BINARY / LVA_CLIENT_BINARY
+ * compile definitions; the worker binary is discovered by the
+ * frontend itself (sibling lva_served).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "eval/evaluator.hh"
+#include "eval/sweep.hh"
+
+namespace lva {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr u32 kSeeds = 1;
+constexpr double kScale = 0.02;
+
+/** points for a small two-workload, two-config sweep. */
+const char *kSweepPoints =
+    "[{\"label\":\"ghb-0\",\"workload\":\"swaptions\","
+    "\"config\":{\"ghb\":0}},"
+    "{\"label\":\"ghb-2\",\"workload\":\"swaptions\","
+    "\"config\":{\"ghb\":2}},"
+    "{\"label\":\"ghb-0\",\"workload\":\"blackscholes\","
+    "\"config\":{\"ghb\":0}},"
+    "{\"label\":\"ghb-2\",\"workload\":\"blackscholes\","
+    "\"config\":{\"ghb\":2}}]";
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+int
+runCommand(const std::string &cmd)
+{
+    const int status = std::system(cmd.c_str());
+    if (status < 0 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+/** The same sweep run directly, as a bench driver would export it. */
+std::string
+directExport()
+{
+    std::vector<SweepPoint> points;
+    for (const char *name : {"swaptions", "blackscholes"}) {
+        for (u32 ghb : {0u, 2u}) {
+            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            cfg.approx.ghbEntries = ghb;
+            points.push_back(
+                {"ghb-" + std::to_string(ghb), name, cfg});
+        }
+    }
+    Evaluator eval(kSeeds, kScale);
+    SweepRunner runner(eval, 1);
+    SweepOptions opts;
+    opts.driver = "fleet_daemon_test";
+    const SweepOutcome outcome = runner.runChecked(points, opts);
+    EXPECT_TRUE(outcome.ok());
+    return renderSweepStats("fleet_daemon_test", points, outcome);
+}
+
+class FleetDaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("lva_fleet_" +
+                std::to_string(static_cast<long>(getpid())) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        log_ = dir_ / "fleet.log";
+        std::ofstream(dir_ / "points.json") << kSweepPoints;
+    }
+
+    void
+    TearDown() override
+    {
+        if (pid_ > 0) { // a test failed before reaping: clean up
+            kill(pid_, SIGKILL);
+            int status = 0;
+            waitpid(pid_, &status, 0);
+        }
+        fs::remove_all(dir_);
+    }
+
+    /** Fork+exec the frontend; stdout/stderr land in log_. */
+    void
+    startFleet(int fleet, const std::string &fleetFault = "",
+               const std::string &cache = "")
+    {
+        pid_ = fork();
+        ASSERT_GE(pid_, 0);
+        if (pid_ == 0) {
+            FILE *log = std::fopen(log_.string().c_str(), "w");
+            if (log) {
+                dup2(fileno(log), STDOUT_FILENO);
+                dup2(fileno(log), STDERR_FILENO);
+            }
+            setenv("LVA_SEEDS", "1", 1);
+            setenv("LVA_SCALE", "0.02", 1);
+            setenv("LVA_JOBS", "1", 1);
+            if (!fleetFault.empty())
+                setenv("LVA_FLEET_FAULT", fleetFault.c_str(), 1);
+            const std::string n = std::to_string(fleet);
+            if (cache.empty())
+                execl(LVA_FLEET_BINARY, "lva_fleet", "--port", "0",
+                      "--fleet", n.c_str(),
+                      static_cast<char *>(nullptr));
+            else
+                execl(LVA_FLEET_BINARY, "lva_fleet", "--port", "0",
+                      "--fleet", n.c_str(), "--cache", cache.c_str(),
+                      static_cast<char *>(nullptr));
+            _exit(127); // exec failed
+        }
+        port_ = waitForPort();
+        ASSERT_GT(port_, 0) << slurp(log_);
+    }
+
+    /**
+     * Parse the *frontend's* announced port out of the log (the
+     * worker lines carry ports too, but those go to the workers'
+     * pipes, not this log). Retries ~15s: the frontend only
+     * announces after every worker booted.
+     */
+    int
+    waitForPort() const
+    {
+        for (int tries = 0; tries < 300; ++tries) {
+            const std::string log = slurp(log_);
+            const std::size_t at = log.find("lva_fleet: listening on ");
+            if (at != std::string::npos) {
+                const std::size_t colon = log.find(':', at + 24);
+                if (colon != std::string::npos)
+                    return std::atoi(log.c_str() + colon + 1);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        return 0;
+    }
+
+    int
+    client(const std::string &args) const
+    {
+        return runCommand(std::string("'") + LVA_CLIENT_BINARY +
+                          "' --port " + std::to_string(port_) + " " +
+                          args + " >> '" +
+                          (dir_ / "client.log").string() + "' 2>&1");
+    }
+
+    int
+    sweepToFile(const std::string &out) const
+    {
+        return client("sweep --driver fleet_daemon_test --points '" +
+                      (dir_ / "points.json").string() + "' --out '" +
+                      (dir_ / out).string() + "'");
+    }
+
+    /** Reap the frontend; returns its exit code (-1 = abnormal). */
+    int
+    reap()
+    {
+        int status = 0;
+        waitpid(pid_, &status, 0);
+        pid_ = -1;
+        if (!WIFEXITED(status))
+            return -1;
+        return WEXITSTATUS(status);
+    }
+
+    fs::path dir_;
+    fs::path log_;
+    pid_t pid_ = -1;
+    int port_ = 0;
+};
+
+TEST_F(FleetDaemonTest, ServesPingAndDrainsOnSigterm)
+{
+    startFleet(2);
+    EXPECT_EQ(client("ping"), 0) << slurp(dir_ / "client.log");
+    kill(pid_, SIGTERM);
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+    EXPECT_NE(slurp(log_).find("drained, exiting"),
+              std::string::npos);
+}
+
+TEST_F(FleetDaemonTest, SweepMatchesDirectExportBytes)
+{
+    // A squeezed per-worker cache (1 entry, 2 workloads in the sweep)
+    // forces evictions mid-request; the bytes must not care.
+    startFleet(3, "", "1");
+    ASSERT_EQ(sweepToFile("out.json"), 0)
+        << slurp(dir_ / "client.log") << slurp(log_);
+    EXPECT_EQ(slurp(dir_ / "out.json"), directExport());
+    kill(pid_, SIGTERM);
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+}
+
+TEST_F(FleetDaemonTest, KilledWorkerIsRespawnedWithIdenticalBytes)
+{
+    // Every worker's first incarnation aborts on its first request:
+    // whichever worker the sweep routes to dies mid-request, the
+    // frontend respawns it, retries, and the client still gets the
+    // exact direct-driver bytes.
+    startFleet(2, "*:serve.request.0=abort");
+    ASSERT_EQ(sweepToFile("out.json"), 0)
+        << slurp(dir_ / "client.log") << slurp(log_);
+    EXPECT_EQ(slurp(dir_ / "out.json"), directExport());
+    EXPECT_NE(slurp(log_).find("respawning"), std::string::npos);
+
+    // The respawned worker serves follow-up traffic normally.
+    EXPECT_EQ(sweepToFile("out2.json"), 0);
+    EXPECT_EQ(slurp(dir_ / "out2.json"), directExport());
+
+    kill(pid_, SIGTERM);
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+}
+
+TEST_F(FleetDaemonTest, ConcurrentClientsGetIdenticalBytes)
+{
+    startFleet(3);
+    std::vector<int> rc(2, -2);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c)
+        clients.emplace_back([&, c] {
+            rc[static_cast<std::size_t>(c)] =
+                sweepToFile("out" + std::to_string(c) + ".json");
+        });
+    for (auto &t : clients)
+        t.join();
+    ASSERT_EQ(rc[0], 0) << slurp(dir_ / "client.log");
+    ASSERT_EQ(rc[1], 0) << slurp(dir_ / "client.log");
+    const std::string direct = directExport();
+    EXPECT_EQ(slurp(dir_ / "out0.json"), direct);
+    EXPECT_EQ(slurp(dir_ / "out1.json"), direct);
+    kill(pid_, SIGTERM);
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+}
+
+TEST_F(FleetDaemonTest, ShutdownRequestEndsTheWholeTree)
+{
+    startFleet(2);
+    EXPECT_EQ(client("shutdown"), 0) << slurp(dir_ / "client.log");
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+    EXPECT_NE(slurp(log_).find("drained, exiting"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace lva

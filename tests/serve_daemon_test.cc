@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -24,6 +25,8 @@
 #include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "util/net.hh"
 
 namespace lva {
 namespace {
@@ -205,6 +208,93 @@ TEST_F(ServeDaemonTest, ClientUsageErrorsExitTwo)
     EXPECT_EQ(client("eval"), 2); // --workload is required
     kill(pid_, SIGTERM);
     EXPECT_EQ(reap(), 0);
+}
+
+/**
+ * A stub daemon for the client's busy handling: answers `busy` (with
+ * retryAfterMs) for the first @p busyCount connections, then a clean
+ * ping response. Counts connections so the test can assert exactly
+ * how many attempts the client made.
+ */
+class BusyStubServer
+{
+  public:
+    explicit BusyStubServer(int busyCount)
+        : busyCount_(busyCount), listener_(0), thread_([this] {
+              serve();
+          })
+    {
+    }
+
+    ~BusyStubServer()
+    {
+        done_.store(true);
+        thread_.join();
+    }
+
+    u16 port() const { return listener_.port(); }
+    int connections() const { return connections_.load(); }
+
+  private:
+    void
+    serve()
+    {
+        while (!done_.load()) {
+            TcpStream conn = listener_.acceptOne(200);
+            if (!conn.valid())
+                continue;
+            const int n = ++connections_;
+            try {
+                std::string req;
+                if (!readFrame(conn, req, 5000))
+                    continue;
+                if (n <= busyCount_)
+                    writeFrame(conn,
+                               "{\"schema\":\"lva-rpc-v1\","
+                               "\"ok\":false,\"busy\":true,"
+                               "\"retryAfterMs\":50,"
+                               "\"error\":\"server at capacity\"}",
+                               5000);
+                else
+                    writeFrame(conn,
+                               "{\"schema\":\"lva-rpc-v1\","
+                               "\"ok\":true,\"op\":\"ping\"}",
+                               5000);
+            } catch (const std::exception &) {
+                // A dropped stub connection only ends that attempt.
+            }
+        }
+    }
+
+    int busyCount_;
+    TcpListener listener_;
+    std::atomic<int> connections_{0};
+    std::atomic<bool> done_{false};
+    std::thread thread_;
+};
+
+TEST(ClientBusyBackoff, HonorsRetryAfterUntilTheServerYields)
+{
+    BusyStubServer server(2);
+    const int rc = runCommand(
+        std::string("'") + LVA_CLIENT_BINARY + "' --port " +
+        std::to_string(server.port()) + " ping > /dev/null 2>&1");
+    EXPECT_EQ(rc, 0);
+    // busy, busy, ok: the retry-after backoff made exactly 3 attempts.
+    EXPECT_EQ(server.connections(), 3);
+}
+
+TEST(ClientBusyBackoff, BackoffIsBoundedByTheRetryBudget)
+{
+    BusyStubServer server(100); // never yields
+    const int rc = runCommand(
+        std::string("LVA_CLIENT_BUSY_RETRIES=1 '") +
+        LVA_CLIENT_BINARY + "' --port " +
+        std::to_string(server.port()) + " ping > /dev/null 2>&1");
+    EXPECT_EQ(rc, 1);
+    // One initial attempt plus the single budgeted retry, then the
+    // busy refusal is surfaced as a failure.
+    EXPECT_EQ(server.connections(), 2);
 }
 
 } // namespace

@@ -340,6 +340,9 @@ TEST(ServeLoopTest, BusyBackpressureAtQueueCapacity)
     const JsonValue busy = parseResponse(payload);
     EXPECT_FALSE(responseOk(busy));
     EXPECT_TRUE(busy.at("busy").boolean);
+    // The shed response tells the client exactly how long to back
+    // off; lva_client honors it (tests/serve_daemon_test.cc).
+    EXPECT_EQ(busy.at("retryAfterMs").asU64(), busyRetryAfterMs());
 
     // Releasing the held connection lets the queued one be served.
     held.close();
@@ -406,11 +409,14 @@ TEST(ServeOptionsTest, EnvironmentFillsUnsetFields)
     setenv("LVA_SERVE_QUEUE", "3", 1);
     setenv("LVA_SERVE_DEADLINE_MS", "1234", 1);
     setenv("LVA_SERVE_RETRIES", "2", 1);
+    setenv("LVA_SERVE_CACHE", "5", 1);
     ServeOptions opts = resolveServeOptions({});
     EXPECT_EQ(opts.workers, 7u);
     EXPECT_EQ(opts.queueCap, 3u);
     EXPECT_EQ(opts.deadlineMs, 1234u);
     EXPECT_EQ(opts.maxAttempts, 3u);
+    EXPECT_EQ(opts.cacheCap, 5u);
+    unsetenv("LVA_SERVE_CACHE");
 
     // Explicit nonzero fields beat the environment.
     ServeOptions explicit_opts;
@@ -433,6 +439,72 @@ TEST(ServeOptionsTest, EnvironmentFillsUnsetFields)
     EXPECT_EQ(opts.queueCap, 16u);
     EXPECT_EQ(opts.deadlineMs, 10000u);
     EXPECT_EQ(opts.maxAttempts, 1u);
+}
+
+TEST(ServeStatsTest, StatsOpExportsTheCacheSubtree)
+{
+    ServeOptions opts = testOptions();
+    opts.cacheCap = 8;
+    EvalService service(kSeeds, kScale, opts);
+    (void)service.handle("{\"op\":\"eval\",\"workload\":\"swaptions\","
+                         "\"config\":{\"ghb\":2}}");
+    const JsonValue resp =
+        parseResponse(service.handle("{\"op\":\"stats\"}"));
+    ASSERT_TRUE(responseOk(resp));
+    const JsonValue &serve = resp.at("serve");
+    EXPECT_GE(serve.at("serve.cache.builds").at("value").asU64(), 1u);
+    EXPECT_GE(serve.at("serve.cache.misses").at("value").asU64(), 1u);
+    EXPECT_EQ(serve.at("serve.cache.capacity").at("value").asU64(),
+              8u);
+    EXPECT_NE(serve.find("serve.cache.hits"), nullptr);
+    EXPECT_NE(serve.find("serve.cache.coalesced"), nullptr);
+    EXPECT_NE(serve.find("serve.cache.evictions"), nullptr);
+    EXPECT_NE(serve.find("serve.cache.size"), nullptr);
+}
+
+TEST(FleetRouting, RouteKeysFollowTheWorkloadSet)
+{
+    EXPECT_EQ(fleetRouteKey("{\"op\":\"eval\","
+                            "\"workload\":\"canneal\"}"),
+              "canneal");
+    // Sweep keys are the sorted, deduplicated workload set: point
+    // order and config differences never change the shard.
+    const std::string key = fleetRouteKey(
+        "{\"op\":\"sweep\",\"driver\":\"d\",\"points\":"
+        "[{\"label\":\"a\",\"workload\":\"ferret\"},"
+        "{\"label\":\"b\",\"workload\":\"canneal\"},"
+        "{\"label\":\"c\",\"workload\":\"ferret\"}]}");
+    EXPECT_EQ(key, "canneal,ferret");
+    EXPECT_EQ(fleetRouteKey("{\"op\":\"ping\"}"), "op:ping");
+    EXPECT_EQ(fleetRouteKey("not json at all"), "op:invalid");
+}
+
+TEST(FleetRouting, RendezvousHashIsStableAndConsistent)
+{
+    // Deterministic: the same key always lands on the same shard, and
+    // the shard is always in range.
+    for (int i = 0; i < 100; ++i) {
+        const std::string key = "workload-" + std::to_string(i);
+        const u32 s = fleetShard(key, 3);
+        EXPECT_LT(s, 3u);
+        EXPECT_EQ(s, fleetShard(key, 3));
+    }
+
+    // The consistent-hash property: removing the highest shard only
+    // remaps keys that lived there; everything else stays put. That
+    // is what keeps sibling worker caches hot when the fleet shrinks
+    // or a worker is respawned.
+    int moved = 0;
+    for (int i = 0; i < 100; ++i) {
+        const std::string key = "workload-" + std::to_string(i);
+        const u32 with3 = fleetShard(key, 3);
+        const u32 with2 = fleetShard(key, 2);
+        if (with3 < 2)
+            EXPECT_EQ(with2, with3) << key;
+        else
+            ++moved;
+    }
+    EXPECT_GT(moved, 0); // shard 2 did own some keys
 }
 
 } // namespace

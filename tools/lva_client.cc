@@ -21,18 +21,26 @@
  *   --out FILE      (sweep) write the lva-stats-v1 export here
  *                   instead of stdout
  *
+ * Busy handling: a `busy` response carries `retryAfterMs`; the client
+ * honors it with deterministic (jitter-free) doubling backoff, capped
+ * per wait and bounded to LVA_CLIENT_BUSY_RETRIES extra attempts
+ * (default 5) before the refusal becomes exit code 1.
+ *
  * Exit codes follow the driver convention (README): 0 success, 1
  * request refused or failed by the server, 2 usage error, 3 sweep
  * completed with isolated point failures (the export still carries
  * every completed point plus a failures section).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "eval/service.hh"
 #include "util/logging.hh"
@@ -180,6 +188,24 @@ handleSweepResponse(const Options &opt, const JsonValue &resp)
     return failures == 0 ? 0 : 3;
 }
 
+/** Extra attempts after a busy refusal (LVA_CLIENT_BUSY_RETRIES). */
+u32
+busyRetryBudget()
+{
+    if (const char *env = std::getenv("LVA_CLIENT_BUSY_RETRIES"))
+        return static_cast<u32>(std::atoi(env));
+    return 5;
+}
+
+/** True when @p resp is a shed request ("busy":true). */
+bool
+isBusy(const JsonValue &resp)
+{
+    const JsonValue *busy = resp.find("busy");
+    return busy && busy->type == JsonValue::Type::Bool &&
+           busy->boolean;
+}
+
 } // namespace
 
 int
@@ -188,28 +214,52 @@ main(int argc, char **argv)
     const Options opt = parse(argc, argv);
     const std::string request = buildRequest(opt);
 
+    // Each attempt is a fresh connection: the server closes a shed
+    // connection after the busy frame, so there is nothing to reuse.
+    const u32 busyBudget = busyRetryBudget();
     std::string payload;
-    try {
-        TcpStream conn =
-            TcpStream::connectTo("127.0.0.1", opt.port, opt.timeoutMs);
-        writeFrame(conn, request, opt.timeoutMs);
-        if (!readFrame(conn, payload, opt.timeoutMs))
-            lva_fatal("server closed the connection without a "
-                      "response");
-    } catch (const NetError &e) {
-        std::fprintf(stderr, "lva_client: %s\n", e.what());
-        return 1;
-    }
-
     JsonValue resp;
-    try {
-        resp = parseJson(payload);
-        if (!resp.isObject())
-            throw std::runtime_error("response is not an object");
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "lva_client: bad response: %s\n",
-                     e.what());
-        return 1;
+    for (u32 attempt = 0;; ++attempt) {
+        try {
+            TcpStream conn = TcpStream::connectTo("127.0.0.1", opt.port,
+                                                  opt.timeoutMs);
+            writeFrame(conn, request, opt.timeoutMs);
+            if (!readFrame(conn, payload, opt.timeoutMs))
+                lva_fatal("server closed the connection without a "
+                          "response");
+        } catch (const NetError &e) {
+            std::fprintf(stderr, "lva_client: %s\n", e.what());
+            return 1;
+        }
+
+        try {
+            resp = parseJson(payload);
+            if (!resp.isObject())
+                throw std::runtime_error("response is not an object");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "lva_client: bad response: %s\n",
+                         e.what());
+            return 1;
+        }
+
+        if (!isBusy(resp) || attempt >= busyBudget)
+            break;
+
+        // Deterministic backoff: honor the server's retryAfterMs,
+        // doubled per attempt, capped at 2 s per wait. No jitter —
+        // reproducibility beats thundering-herd lore at this scale.
+        u64 delayMs = 100;
+        if (const JsonValue *ra = resp.find("retryAfterMs"))
+            delayMs = ra->asU64();
+        delayMs = std::min<u64>(delayMs << std::min<u32>(attempt, 10),
+                                2000);
+        std::fprintf(stderr,
+                     "lva_client: busy, retrying in %llu ms "
+                     "(attempt %u/%u)\n",
+                     static_cast<unsigned long long>(delayMs),
+                     attempt + 1, busyBudget);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
     }
 
     const JsonValue *ok = resp.find("ok");

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * lva_fleet — accept-and-dispatch frontend for a fleet of lva_served
+ * workers (docs/serving.md, "The fleet").
+ *
+ * The frontend binds one localhost port, spawns N lva_served workers
+ * on ephemeral ports, and forwards each lva-rpc-v1 frame to the
+ * worker chosen by a rendezvous hash of the request's routing key
+ * (the workload set for eval/sweep, the op name for control ops) —
+ * so every request needing a given workload's golden runs lands on
+ * the shard whose cache already holds them. Responses are relayed
+ * byte-for-byte: a fleet of any size answers exactly what one
+ * lva_served would, which is what serve_smoke.sh pins.
+ *
+ *   lva_fleet --fleet 3                      # 3 workers, printed port
+ *   lva_fleet --fleet 3 --cache 2 --jobs 2   # worker pass-through
+ *
+ * Options (defaults from the LVA_FLEET_* / LVA_SERVE_* knobs):
+ *   --fleet N        worker processes (LVA_FLEET_SIZE)     [2]
+ *   --port N         frontend port; 0 = ephemeral          [0]
+ *   --served PATH    worker binary (LVA_FLEET_SERVED)
+ *                    [lva_served next to this binary]
+ *   --workers, --queue, --deadline-ms, --retries, --jobs,
+ *   --cache, --seeds, --scale: forwarded to every worker.
+ *
+ * Supervision: a worker that dies (e.g. an LVA_FAULT abort) is
+ * detected on the next request routed to it, respawned on a fresh
+ * port, and the request is retried there — the caller just sees a
+ * slightly slower, byte-identical response. LVA_FLEET_FAULT arms
+ * LVA_FAULT in a worker's *first* incarnation only ("<idx|*>:<spec>"),
+ * so an injected kill cannot re-fire in the respawned process.
+ *
+ * SIGTERM / SIGINT / a `shutdown` request drain: stop accepting,
+ * finish in-flight relays, shut every worker down, reap them, exit 0.
+ */
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/service.hh"
+#include "util/logging.hh"
+#include "util/net.hh"
+
+using namespace lva;
+
+namespace {
+
+/** Signal flag: the accept loop polls it (one relaxed load per tick). */
+std::atomic<bool> g_stop{false}; // lva-lint: allow(no-mutable-global)
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
+
+struct Options
+{
+    u32 fleet = 0;       ///< worker count (0 = LVA_FLEET_SIZE, then 2)
+    u16 port = 0;        ///< frontend port (0 = ephemeral)
+    std::string served;  ///< worker binary path
+    /** Flags forwarded verbatim to every worker. */
+    std::vector<std::string> passThrough;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--fleet N] [--port N] [--served PATH]\n"
+                 "  [--workers N] [--queue N] [--deadline-ms N]\n"
+                 "  [--retries N] [--jobs N] [--cache N] [--seeds N]\n"
+                 "  [--scale F]\n",
+                 argv0);
+    std::exit(2);
+}
+
+std::string
+defaultServedPath()
+{
+    if (const char *env = std::getenv("LVA_FLEET_SERVED"))
+        return env;
+    // Sibling of this binary: build/tools/lva_fleet -> .../lva_served.
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string self(buf);
+        const std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos)
+            return self.substr(0, slash + 1) + "lva_served";
+    }
+    return "lva_served";
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    if (const char *env = std::getenv("LVA_FLEET_SIZE"))
+        opt.fleet = static_cast<u32>(std::atoi(env));
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fleet") {
+            opt.fleet = static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--port") {
+            opt.port = static_cast<u16>(std::atoi(need(i)));
+        } else if (arg == "--served") {
+            opt.served = need(i);
+        } else if (arg == "--workers" || arg == "--queue" ||
+                   arg == "--deadline-ms" || arg == "--retries" ||
+                   arg == "--jobs" || arg == "--cache" ||
+                   arg == "--seeds" || arg == "--scale") {
+            opt.passThrough.push_back(arg);
+            opt.passThrough.push_back(need(i));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (opt.fleet == 0)
+        opt.fleet = 2;
+    if (opt.served.empty())
+        opt.served = defaultServedPath();
+    return opt;
+}
+
+/**
+ * The fault armed for one worker's first incarnation, from
+ * LVA_FLEET_FAULT="<idx|*>:<spec>" ("" = none). Respawns never
+ * inherit it — that is the whole point of routing the injection
+ * through the frontend instead of plain LVA_FAULT.
+ */
+std::string
+firstIncarnationFault(u32 index)
+{
+    const char *env = std::getenv("LVA_FLEET_FAULT");
+    if (!env || !*env)
+        return "";
+    const std::string spec(env);
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        lva_warn("ignoring malformed LVA_FLEET_FAULT=\"%s\"", env);
+        return "";
+    }
+    const std::string target = spec.substr(0, colon);
+    if (target != "*" && target != std::to_string(index))
+        return "";
+    return spec.substr(colon + 1);
+}
+
+/** One supervised lva_served process. */
+struct Worker
+{
+    pid_t pid = -1;
+    u16 port = 0;
+    int pipeFd = -1;      ///< read end of the worker's stdout
+    u32 incarnation = 0;  ///< 0 = first spawn, >0 = respawn
+};
+
+/**
+ * Wait for the worker's "listening on 127.0.0.1:<port>" line on
+ * @p fd (its stdout pipe) and return the port; 0 on timeout/EOF.
+ */
+u16
+readWorkerPort(int fd, u64 timeoutMs)
+{
+    std::string buf;
+    for (;;) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, static_cast<int>(timeoutMs));
+        if (r <= 0)
+            return 0;
+        char chunk[256];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            return 0;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        const std::size_t at = buf.find("127.0.0.1:");
+        if (at != std::string::npos) {
+            const std::size_t digits = at + std::strlen("127.0.0.1:");
+            if (buf.find('\n', digits) == std::string::npos)
+                continue; // port digits may still be in flight
+            return static_cast<u16>(
+                std::atoi(buf.c_str() + digits));
+        }
+    }
+}
+
+/** The supervised fleet: spawn, route, respawn, drain. */
+class Fleet
+{
+  public:
+    explicit Fleet(const Options &opt) : opt_(opt), workers_(opt.fleet) {}
+
+    ~Fleet()
+    {
+        for (Worker &w : workers_) {
+            if (w.pipeFd >= 0)
+                ::close(w.pipeFd);
+        }
+    }
+
+    void
+    spawnAll()
+    {
+        for (u32 i = 0; i < workers_.size(); ++i)
+            spawn(i);
+    }
+
+    /**
+     * Forward @p request to the worker owning @p shard and return the
+     * response verbatim. Detects a dead worker (connect refused +
+     * waitpid says exited), respawns it, and retries there — bounded,
+     * so a permanently broken worker binary still fails loudly.
+     */
+    std::string
+    forward(u32 shard, const std::string &request, u64 timeoutMs)
+    {
+        std::string lastError;
+        for (u32 attempt = 0; attempt < 10; ++attempt) {
+            u16 port;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                reapAndRespawnLocked(shard);
+                port = workers_[shard].port;
+            }
+            try {
+                TcpStream conn =
+                    TcpStream::connectTo("127.0.0.1", port, timeoutMs);
+                writeFrame(conn, request, timeoutMs);
+                std::string response;
+                if (readFrame(conn, response, timeoutMs))
+                    return response;
+                lastError = "worker closed without a response";
+            } catch (const NetError &e) {
+                lastError = e.what();
+            }
+            // Either the worker died mid-request (respawned on the
+            // next iteration) or it is still booting; a short fixed
+            // pause keeps the retry loop polite and deterministic.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        throw NetError("worker " + std::to_string(shard) +
+                       " unreachable: " + lastError);
+    }
+
+    /** Send @p request to every worker; returns the last response. */
+    std::string
+    broadcast(const std::string &request, u64 timeoutMs)
+    {
+        std::string response;
+        for (u32 i = 0; i < workers_.size(); ++i) {
+            try {
+                response = forward(i, request, timeoutMs);
+            } catch (const std::exception &e) {
+                lva_warn("fleet: broadcast to worker %u: %s", i,
+                         e.what());
+            }
+        }
+        return response;
+    }
+
+    /** Reap every worker (after shutdown frames were sent). */
+    void
+    reapAll()
+    {
+        for (Worker &w : workers_) {
+            if (w.pid > 0) {
+                int st = 0;
+                ::waitpid(w.pid, &st, 0);
+                w.pid = -1;
+            }
+        }
+    }
+
+    u32 size() const { return static_cast<u32>(workers_.size()); }
+
+  private:
+    /**
+     * Fork+exec worker @p index on an ephemeral port; its stdout
+     * becomes a pipe the frontend parses the port from (and keeps
+     * open for the worker's lifetime — the worker writes its drain
+     * line there at exit and must not take SIGPIPE).
+     */
+    void
+    spawn(u32 index)
+    {
+        Worker &w = workers_[index];
+        if (w.pipeFd >= 0) {
+            ::close(w.pipeFd);
+            w.pipeFd = -1;
+        }
+
+        int fds[2];
+        if (::pipe(fds) != 0)
+            lva_fatal("fleet: pipe: %s", std::strerror(errno));
+
+        const std::string fault =
+            w.incarnation == 0 ? firstIncarnationFault(index) : "";
+
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            lva_fatal("fleet: fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            ::close(fds[0]);
+            ::dup2(fds[1], STDOUT_FILENO);
+            ::close(fds[1]);
+            if (!fault.empty())
+                ::setenv("LVA_FAULT", fault.c_str(), 1);
+            else
+                ::unsetenv("LVA_FAULT");
+            // The frontend owns fleet policy; a worker must never
+            // recurse into fleet spawning via inherited knobs.
+            ::unsetenv("LVA_FLEET_FAULT");
+            ::unsetenv("LVA_SERVE_PORT");
+
+            std::vector<const char *> args;
+            args.push_back(opt_.served.c_str());
+            args.push_back("--port");
+            args.push_back("0");
+            for (const std::string &a : opt_.passThrough)
+                args.push_back(a.c_str());
+            args.push_back(nullptr);
+            ::execv(opt_.served.c_str(),
+                    const_cast<char *const *>(args.data()));
+            std::fprintf(stderr, "fleet: exec %s: %s\n",
+                         opt_.served.c_str(), std::strerror(errno));
+            ::_Exit(127);
+        }
+
+        ::close(fds[1]);
+        w.pid = pid;
+        w.pipeFd = fds[0];
+        w.port = readWorkerPort(fds[0], 30000);
+        if (w.port == 0)
+            lva_fatal("fleet: worker %u did not announce a port",
+                      index);
+        std::fprintf(stderr,
+                     "lva_fleet: worker %u (incarnation %u) pid %d "
+                     "on 127.0.0.1:%u\n",
+                     index, w.incarnation, static_cast<int>(pid),
+                     static_cast<unsigned>(w.port));
+        ++w.incarnation;
+    }
+
+    /** If worker @p index exited, log and respawn it. Lock held. */
+    void
+    reapAndRespawnLocked(u32 index)
+    {
+        Worker &w = workers_[index];
+        if (w.pid <= 0)
+            return;
+        int st = 0;
+        if (::waitpid(w.pid, &st, WNOHANG) == w.pid) {
+            lva_warn("fleet: worker %u (pid %d) exited with status "
+                     "%d; respawning",
+                     index, static_cast<int>(w.pid),
+                     WIFEXITED(st) ? WEXITSTATUS(st) : -WTERMSIG(st));
+            w.pid = -1;
+            spawn(index);
+        }
+    }
+
+    Options opt_;
+    std::mutex mutex_; ///< guards the worker table across relays
+    std::vector<Worker> workers_;
+};
+
+/** Relay every frame on @p conn to its routed worker. */
+void
+serveConnection(Fleet &fleet, TcpStream conn, u64 timeoutMs,
+                std::atomic<bool> &shutdownSeen)
+{
+    try {
+        std::string request;
+        while (readFrame(conn, request, timeoutMs)) {
+            const std::string key = fleetRouteKey(request);
+            std::string response;
+            if (key == "op:shutdown") {
+                response = fleet.broadcast(request, timeoutMs);
+                if (response.empty())
+                    response = busyResponse();
+                shutdownSeen.store(true);
+                g_stop.store(true);
+            } else {
+                response = fleet.forward(
+                    fleetShard(key, fleet.size()), request, timeoutMs);
+            }
+            writeFrame(conn, response, timeoutMs);
+            if (g_stop.load())
+                break;
+        }
+    } catch (const std::exception &e) {
+        lva_warn("fleet: connection: %s", e.what());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    Fleet fleet(opt);
+    fleet.spawnAll();
+
+    TcpListener listener(opt.port);
+
+    // Scripts parse this line for the (possibly ephemeral) port, so
+    // it must land before the accept loop starts; same contract as
+    // lva_served.
+    std::printf("lva_fleet: listening on 127.0.0.1:%u (fleet=%u)\n",
+                static_cast<unsigned>(listener.port()), fleet.size());
+    std::fflush(stdout);
+
+    const u64 kRelayTimeoutMs = 600000;
+    std::atomic<bool> shutdownSeen{false};
+    std::vector<std::thread> relays;
+    while (!g_stop.load()) {
+        TcpStream conn;
+        try {
+            // Short poll so stop signals are observed promptly.
+            conn = listener.acceptOne(200);
+        } catch (const std::exception &e) {
+            lva_warn("fleet: accept: %s", e.what());
+            continue;
+        }
+        if (!conn.valid())
+            continue;
+        relays.emplace_back([&fleet, &shutdownSeen,
+                             c = std::move(conn)]() mutable {
+            serveConnection(fleet, std::move(c), kRelayTimeoutMs,
+                            shutdownSeen);
+        });
+    }
+
+    for (std::thread &t : relays)
+        t.join();
+
+    // Drain the workers: a relayed `shutdown` already reached them
+    // all; a signal-initiated stop still owes them the frame.
+    if (!shutdownSeen.load()) {
+        const std::string req =
+            std::string("{\"schema\":\"lva-rpc-v1\","
+                        "\"op\":\"shutdown\"}");
+        fleet.broadcast(req, 10000);
+    }
+    fleet.reapAll();
+
+    std::printf("lva_fleet: drained, exiting\n");
+    return 0;
+}

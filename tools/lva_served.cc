@@ -19,6 +19,7 @@
  *   --deadline-ms N  per-connection wire deadline         [10000]
  *   --retries N      extra isolated attempts per request  [0]
  *   --jobs N         sweep worker threads (0 = LVA_JOBS)  [0]
+ *   --cache N        golden-cache entries (0 = unbounded) [0]
  *   --seeds N        evaluator seeds (0 = LVA_SEEDS)      [0]
  *   --scale F        workload scale (0 = LVA_SCALE)       [0]
  *
@@ -66,7 +67,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--port N] [--workers N] [--queue N]\n"
                  "  [--deadline-ms N] [--retries N] [--jobs N]\n"
-                 "  [--seeds N] [--scale F]\n",
+                 "  [--cache N] [--seeds N] [--scale F]\n",
                  argv0);
     std::exit(2);
 }
@@ -96,6 +97,9 @@ parse(int argc, char **argv)
                 static_cast<u32>(std::atoi(need(i))) + 1;
         } else if (arg == "--jobs") {
             opt.serve.jobs = static_cast<u32>(std::atoi(need(i)));
+        } else if (arg == "--cache") {
+            opt.serve.cacheCap =
+                static_cast<u64>(std::atoll(need(i)));
         } else if (arg == "--seeds") {
             opt.seeds = static_cast<u32>(std::atoi(need(i)));
         } else if (arg == "--scale") {
