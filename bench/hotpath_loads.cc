@@ -39,6 +39,7 @@
 #include "core/approx_memory.hh"
 #include "util/bench_timer.hh"
 #include "util/checkpoint.hh"
+#include "util/env_knob.hh"
 #include "util/random.hh"
 #include "util/results_dir.hh"
 
@@ -64,25 +65,14 @@ constexpr u64 kWarmupLoads = 1u << 18;
 u64
 timedLoads()
 {
-    const char *env = std::getenv("LVA_HOTPATH_LOADS");
-    if (env != nullptr && env[0] != '\0') {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            return static_cast<u64>(v);
-    }
-    return kDefaultLoads;
+    return envKnobU64("LVA_HOTPATH_LOADS", kDefaultLoads, 1,
+                      u64(1) << 40);
 }
 
 u32
 repetitions()
 {
-    const char *env = std::getenv("LVA_HOTPATH_REPS");
-    if (env != nullptr && env[0] != '\0') {
-        const long long v = std::atoll(env);
-        if (v > 0)
-            return static_cast<u32>(v);
-    }
-    return 3;
+    return static_cast<u32>(envKnobU64("LVA_HOTPATH_REPS", 3, 1, 64));
 }
 
 /**

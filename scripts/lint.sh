@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Static-analysis gate: lva_lint (custom determinism/safety rules) +
-# clang-tidy (curated .clang-tidy profile) over the compilation
-# database.  Non-zero exit on any unsuppressed finding.
+# lva_audit (whole-project model: include layering, stat/knob/fault
+# registries, lock-order graph) + clang-tidy (curated .clang-tidy
+# profile) over the compilation database.  Non-zero exit on any
+# unsuppressed finding.
 #
 # Usage: scripts/lint.sh [--no-tidy]
 #   LVA_BUILD_DIR  build tree holding lva_lint and
@@ -17,15 +19,28 @@ BUILD_DIR="${LVA_BUILD_DIR:-build}"
 RUN_TIDY=1
 [[ "${1:-}" == "--no-tidy" ]] && RUN_TIDY=0
 
-if [[ ! -x "$BUILD_DIR/tools/lva_lint" ]]; then
+if [[ ! -x "$BUILD_DIR/tools/lva_lint" || \
+      ! -x "$BUILD_DIR/tools/lva_audit" ]]; then
     cmake -B "$BUILD_DIR" -G Ninja >/dev/null
-    cmake --build "$BUILD_DIR" --target lva_lint >/dev/null
+    cmake --build "$BUILD_DIR" --target lva_lint lva_audit >/dev/null
 fi
 
-# tests/lint_fixtures/ is deliberately hazardous input for
-# lint_tool_test, not product code.
+# tests/lint_fixtures/ and tests/audit_fixtures/ are deliberately
+# hazardous input for the tool tests, not product code.
 "$BUILD_DIR/tools/lva_lint" --root . --exclude tests/lint_fixtures/ \
-    src bench tests tools examples
+    --exclude tests/audit_fixtures/ src bench tests tools examples
+
+# Whole-project semantic audit.  Prefer the compilation database so
+# the file set is exactly what the build compiles; fall back to the
+# source-root walk when the tree was configured without one.
+if [[ -f "$BUILD_DIR/compile_commands.json" ]]; then
+    "$BUILD_DIR/tools/lva_audit" --root . \
+        --compdb "$BUILD_DIR/compile_commands.json"
+else
+    echo "lint.sh: $BUILD_DIR/compile_commands.json missing;" \
+         "lva_audit falling back to the source-root walk"
+    "$BUILD_DIR/tools/lva_audit" --root .
+fi
 
 if [[ "$RUN_TIDY" -eq 1 ]] && command -v clang-tidy >/dev/null 2>&1; then
     if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then

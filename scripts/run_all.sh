@@ -33,9 +33,11 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 if [[ "$MODE" == "quick" ]]; then
-    # Static-analysis gate: lva_lint determinism rules (+ clang-tidy
-    # where installed).  Fails the run on any unsuppressed finding,
-    # mirroring the check_docs.sh gate below.
+    # Static-analysis gate: lva_lint determinism rules, the
+    # lva_audit whole-project model (layering, stat/knob/fault
+    # registries, lock order), and clang-tidy where installed.
+    # Fails the run on any unsuppressed finding, mirroring the
+    # check_docs.sh gate below.
     scripts/lint.sh
 
     # Sanitizer matrix (DESIGN.md §12).  ASan and UBSan compose in one

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <numeric>
 
+#include "util/env_knob.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 
@@ -15,25 +16,14 @@ namespace {
 u32
 seedsFromEnv()
 {
-    if (const char *env = std::getenv("LVA_SEEDS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 64)
-            return static_cast<u32>(v);
-        lva_warn("ignoring bad LVA_SEEDS='%s'", env);
-    }
-    return 5; // paper: all measurements averaged from 5 runs
+    // paper: all measurements averaged from 5 runs
+    return static_cast<u32>(envKnobU64("LVA_SEEDS", 5, 1, 64));
 }
 
 double
 scaleFromEnv()
 {
-    if (const char *env = std::getenv("LVA_SCALE")) {
-        const double v = std::strtod(env, nullptr);
-        if (v > 0.0 && v <= 4.0)
-            return v;
-        lva_warn("ignoring bad LVA_SCALE='%s'", env);
-    }
-    return 1.0;
+    return envKnobF64("LVA_SCALE", 1.0, 1e-6, 4.0);
 }
 
 } // namespace

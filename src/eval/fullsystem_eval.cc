@@ -1,8 +1,7 @@
 #include "eval/fullsystem_eval.hh"
 
-#include <cstdlib>
-
 #include "cpu/trace.hh"
+#include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "workloads/workload.hh"
 
@@ -11,12 +10,7 @@ namespace lva {
 double
 fsScaleFromEnv()
 {
-    if (const char *env = std::getenv("LVA_SCALE")) {
-        const double v = std::strtod(env, nullptr);
-        if (v > 0.0 && v <= 4.0)
-            return v;
-    }
-    return 1.0;
+    return envKnobF64("LVA_SCALE", 1.0, 1e-6, 4.0);
 }
 
 FsSweep

@@ -7,28 +7,13 @@
 #include <utility>
 
 #include "util/checkpoint.hh"
+#include "util/env_knob.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/stats_json.hh"
 
 namespace lva {
 namespace {
-
-/** Positive-integer environment knob; @p fallback when unset/bad. */
-u64
-envU64(const char *name, u64 fallback)
-{
-    const char *env = std::getenv(name);
-    if (!env || !*env)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0') {
-        lva_warn("ignoring malformed %s=\"%s\"", name, env);
-        return fallback;
-    }
-    return static_cast<u64>(v);
-}
 
 std::string
 errorResponse(const std::string &message)
@@ -163,27 +148,33 @@ fleetShard(const std::string &key, u32 shards)
 ServeOptions
 resolveServeOptions(ServeOptions opts)
 {
+    // All knobs go through the strict util/env_knob.hh parse: junk,
+    // signs, and out-of-range values warn and fall back instead of
+    // being coerced (DESIGN.md section 17).
     if (opts.port == 0)
-        opts.port = static_cast<u16>(envU64("LVA_SERVE_PORT", 0));
+        opts.port = static_cast<u16>(
+            envKnobU64("LVA_SERVE_PORT", 0, 0, 65535));
     if (opts.workers == 0)
-        opts.workers =
-            static_cast<u32>(envU64("LVA_SERVE_WORKERS", 0));
+        opts.workers = static_cast<u32>(
+            envKnobU64("LVA_SERVE_WORKERS", 0, 1, 256));
     if (opts.workers == 0)
         opts.workers = 2;
     if (opts.queueCap == 0)
-        opts.queueCap =
-            static_cast<u32>(envU64("LVA_SERVE_QUEUE", 0));
+        opts.queueCap = static_cast<u32>(
+            envKnobU64("LVA_SERVE_QUEUE", 0, 1, 1000000));
     if (opts.queueCap == 0)
         opts.queueCap = 16;
     if (opts.deadlineMs == 0)
-        opts.deadlineMs = envU64("LVA_SERVE_DEADLINE_MS", 0);
+        opts.deadlineMs =
+            envKnobU64("LVA_SERVE_DEADLINE_MS", 0, 1, 86400000);
     if (opts.deadlineMs == 0)
         opts.deadlineMs = 10000;
     if (opts.maxAttempts == 0)
-        opts.maxAttempts =
-            1 + static_cast<u32>(envU64("LVA_SERVE_RETRIES", 0));
+        opts.maxAttempts = 1 + static_cast<u32>(
+                                   envKnobU64("LVA_SERVE_RETRIES", 0,
+                                              0, 99));
     if (opts.cacheCap == 0)
-        opts.cacheCap = envU64("LVA_SERVE_CACHE", 0);
+        opts.cacheCap = envKnobU64("LVA_SERVE_CACHE", 0, 0, 1000000);
     return opts;
 }
 

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "eval/stat_report.hh"
+#include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/results_dir.hh"
 #include "util/stats_json.hh"
@@ -27,23 +28,6 @@ envFlag(const char *name)
 {
     const char *v = std::getenv(name);
     return v != nullptr && *v != '\0' && std::string(v) != "0";
-}
-
-/** Strict decimal env parse; false (with a warning) on junk. */
-bool
-envU64(const char *name, u64 &out)
-{
-    const char *v = std::getenv(name);
-    if (!v)
-        return false;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end == v || *end != '\0') {
-        lva_warn("ignoring bad %s='%s'", name, v);
-        return false;
-    }
-    out = static_cast<u64>(parsed);
-    return true;
 }
 
 /** Strict decimal CLI-operand parse; exits(2) on junk. */
@@ -130,24 +114,16 @@ resolveSweepOptions(SweepOptions opts)
     if (opts.resume) // resuming without recording would lose progress
         opts.checkpoint = true;
     if (opts.maxAttempts == 0) {
-        u64 retries = 0;
-        envU64("LVA_RETRIES", retries);
-        if (retries > 99) {
-            lva_warn("clamping LVA_RETRIES=%llu to 99",
-                     static_cast<unsigned long long>(retries));
-            retries = 99;
-        }
+        const u64 retries = envKnobU64("LVA_RETRIES", 0, 0, 99);
         opts.maxAttempts = static_cast<u32>(retries) + 1;
     }
     if (opts.backoffBaseMs == 0)
         opts.backoffBaseMs = 10;
     if (opts.backoffCapMs == 0)
         opts.backoffCapMs = 1000;
-    if (opts.timeoutMs == 0) {
-        u64 ms = 0;
-        if (envU64("LVA_POINT_TIMEOUT_MS", ms))
-            opts.timeoutMs = ms;
-    }
+    if (opts.timeoutMs == 0)
+        opts.timeoutMs =
+            envKnobU64("LVA_POINT_TIMEOUT_MS", 0, 0, 86400000);
     return opts;
 }
 

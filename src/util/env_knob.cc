@@ -1,0 +1,65 @@
+#include "util/env_knob.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace lva {
+namespace {
+
+/** Shared "is there a value to parse at all" gate. */
+const char *
+knobValue(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return nullptr;
+    return env;
+}
+
+} // namespace
+
+u64
+envKnobU64(const char *name, u64 fallback, u64 lo, u64 hi)
+{
+    const char *env = knobValue(name);
+    if (env == nullptr)
+        return fallback;
+    // Leading signs and whitespace are rejected up front: strtoull
+    // happily wraps "-1" to 2^64-1, which is exactly the silent
+    // coercion this helper exists to kill.
+    if (!std::isdigit(static_cast<unsigned char>(env[0]))) {
+        lva_warn("ignoring bad %s='%s' (want a decimal in [%llu, %llu])",
+                 name, env, static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi));
+        return fallback;
+    }
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v < lo || v > hi) {
+        lva_warn("ignoring bad %s='%s' (want a decimal in [%llu, %llu])",
+                 name, env, static_cast<unsigned long long>(lo),
+                 static_cast<unsigned long long>(hi));
+        return fallback;
+    }
+    return static_cast<u64>(v);
+}
+
+double
+envKnobF64(const char *name, double fallback, double lo, double hi)
+{
+    const char *env = knobValue(name);
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v >= lo) || !(v <= hi)) {
+        lva_warn("ignoring bad %s='%s' (want a number in [%g, %g])",
+                 name, env, lo, hi);
+        return fallback;
+    }
+    return v;
+}
+
+} // namespace lva

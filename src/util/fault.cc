@@ -118,6 +118,8 @@ loadEnvLocked()
     if (env_loaded)
         return;
     env_loaded = true;
+    // String-valued spec, parsed by parseFaultSpec below.
+    // lva-audit: allow(knob-unvalidated)
     const char *env = std::getenv("LVA_FAULT");
     if (env == nullptr || env[0] == '\0')
         return;

@@ -7,6 +7,8 @@ namespace lva {
 std::string
 resultsDir()
 {
+    // String-valued path knob; any non-empty value is legal.
+    // lva-audit: allow(knob-unvalidated)
     const char *env = std::getenv("LVA_RESULTS_DIR");
     if (env != nullptr && env[0] != '\0')
         return env;

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/env_knob.hh"
+
 namespace lva {
 
 namespace {
@@ -195,11 +197,8 @@ EventTracer::drain()
 std::size_t
 EventTracer::capacityFromEnv()
 {
-    const char *env = std::getenv("LVA_TRACE");
-    if (env == nullptr)
-        return 0;
-    const long v = std::strtol(env, nullptr, 10);
-    return v > 0 ? static_cast<std::size_t>(v) : 0;
+    return static_cast<std::size_t>(
+        envKnobU64("LVA_TRACE", 0, 0, 1u << 24));
 }
 
 // --- StatRegistry -----------------------------------------------------

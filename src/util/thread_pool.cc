@@ -1,8 +1,8 @@
 #include "util/thread_pool.hh"
 
-#include <cstdlib>
 #include <stdexcept>
 
+#include "util/env_knob.hh"
 #include "util/logging.hh"
 
 namespace lva {
@@ -10,15 +10,11 @@ namespace lva {
 u32
 ThreadPool::defaultJobs()
 {
-    if (const char *env = std::getenv("LVA_JOBS")) {
-        // Strict decimal parse: "4abc" and "0x2" are configuration
-        // mistakes, not 4 and 0 — reject any trailing characters.
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1 && v <= 256)
-            return static_cast<u32>(v);
-        lva_warn("ignoring bad LVA_JOBS='%s'", env);
-    }
+    // Strict decimal parse (util/env_knob.hh): "4abc" and "0x2" are
+    // configuration mistakes, not 4 and 0 — they warn and fall back
+    // to the hardware default.
+    if (const u64 v = envKnobU64("LVA_JOBS", 0, 1, 256))
+        return static_cast<u32>(v);
     const u32 hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -1,0 +1,3 @@
+#!/usr/bin/env bash
+# Arms the engine fault site so it is not an orphan.
+LVA_FAULT="engine.step.go=throw@first1" ./engine

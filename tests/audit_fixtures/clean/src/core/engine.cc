@@ -1,0 +1,25 @@
+// Clean fixture: documented stats, validated + annotated knobs, a
+// fault site armed by scripts/run.sh, downward include only.
+#include "util/log.hh"
+
+struct Reg
+{
+    int counter(const char *, const char *, const char *);
+};
+
+unsigned long envKnobU64(const char *, unsigned long, unsigned long,
+                         unsigned long);
+char *getenv(const char *);
+void faultPoint(const char *);
+
+int
+setup(Reg &reg)
+{
+    int ticks = reg.counter("engine.ticks", "ticks", "events");
+    const unsigned long depth =
+        envKnobU64("LVA_FIX_DEPTH", 4, 1, 64);
+    // String-valued path knob. lva-audit: allow(knob-unvalidated)
+    const char *dir = getenv("LVA_FIX_DIR");
+    faultPoint("engine.step.go");
+    return ticks + static_cast<int>(depth) + (dir ? 1 : 0);
+}

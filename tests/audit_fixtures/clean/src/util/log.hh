@@ -1,0 +1,5 @@
+// Layer-0 helper: includes nothing, included from above.
+#ifndef FIXTURE_LOG_HH
+#define FIXTURE_LOG_HH
+void logLine(const char *msg);
+#endif

@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Arms a real site (line 3) and a site nothing defines (line 4).
+LVA_FAULT="worker.step.3=throw@first1" ./worker
+LVA_FAULT="worker.ghost=abort" ./worker

@@ -1,0 +1,13 @@
+// Fault-site fixture: "worker.step." (prefix, via the local binding
+// idiom) is armed by scripts/chaos.sh; "worker.orphan" (line 12) is
+// never referenced anywhere.
+void faultPoint(const char *);
+int toString(int);
+
+void
+step(int index)
+{
+    const char *site = "worker.step." + toString(index);
+    faultPoint(site);
+    faultPoint("worker.orphan");
+}

@@ -1,0 +1,3 @@
+// Audit-fence hygiene fixture: the end-allow on line 2 has no begin.
+// lva-audit: end-allow
+int dangling();

@@ -1,0 +1,14 @@
+// Knob fixture: LVA_FIX_ALPHA is documented and validated;
+// getenv("LVA_FIX_RAW") on line 12 is both undocumented and
+// unvalidated (two findings, one line).
+unsigned long envKnobU64(const char *, unsigned long, unsigned long,
+                         unsigned long);
+char *getenv(const char *);
+
+unsigned long
+readKnobs()
+{
+    const unsigned long a = envKnobU64("LVA_FIX_ALPHA", 1, 0, 9);
+    const char *raw = getenv("LVA_FIX_RAW");
+    return a + (raw ? 1 : 0);
+}

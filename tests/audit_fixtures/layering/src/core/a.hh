@@ -1,0 +1,5 @@
+// Include-cycle fixture, half one: a -> b (line 4).
+#ifndef FIXTURE_A_HH
+#define FIXTURE_A_HH
+#include "core/b.hh"
+#endif

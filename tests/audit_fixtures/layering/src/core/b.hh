@@ -1,0 +1,5 @@
+// Include-cycle fixture, half two: b -> a (line 4) closes the loop.
+#ifndef FIXTURE_B_HH
+#define FIXTURE_B_HH
+#include "core/a.hh"
+#endif

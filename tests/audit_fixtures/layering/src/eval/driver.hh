@@ -1,0 +1,5 @@
+// Layer-2 header; including downward is fine.
+#ifndef FIXTURE_DRIVER_HH
+#define FIXTURE_DRIVER_HH
+int drive();
+#endif

@@ -1,0 +1,6 @@
+// Layering violation fixture: layer 0 (src/util) reaching up into
+// layer 2 (src/eval) — the back-edge is on line 5.
+#ifndef FIXTURE_HELPER_HH
+#define FIXTURE_HELPER_HH
+#include "eval/driver.hh"
+#endif

@@ -1,0 +1,43 @@
+// Lock-order fixture: forward() takes a_ then b_, backward() takes
+// b_ then a_ — an ordering cycle between Pipeline::a_ and
+// Pipeline::b_.  waitBoth() waits on cv_ while still holding b_.
+#include <condition_variable>
+#include <mutex>
+
+class Pipeline
+{
+  public:
+    void forward();
+    void backward();
+    void waitBoth();
+
+  private:
+    std::mutex a_;
+    std::mutex b_;
+    std::condition_variable cv_;
+    int work_ = 0;
+};
+
+void
+Pipeline::forward()
+{
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    ++work_;
+}
+
+void
+Pipeline::backward()
+{
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);
+    --work_;
+}
+
+void
+Pipeline::waitBoth()
+{
+    std::unique_lock<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    cv_.wait(la);
+}

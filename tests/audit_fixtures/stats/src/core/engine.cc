@@ -1,0 +1,21 @@
+// Stat conformance fixture: "engine.ticks" is documented (full
+// literal), the joinPath leaf "stalls" backs the engine.pipe.stalls
+// row, but "engine.rogue" (line 16) matches no catalog row.
+struct Reg
+{
+    int counter(const char *, const char *, const char *);
+};
+struct SR
+{
+    static const char *joinPath(const char *, const char *);
+};
+
+int
+setup(Reg &reg, const char *prefix)
+{
+    int rogue = reg.counter("engine.rogue", "undocumented", "events");
+    int ticks = reg.counter("engine.ticks", "ticks", "events");
+    int stalls = reg.counter(SR::joinPath(prefix, "stalls"),
+                             "pipe stalls", "events");
+    return rogue + ticks + stalls;
+}

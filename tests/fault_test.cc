@@ -125,6 +125,17 @@ TEST_F(FaultTest, WildcardMatchesByPrefix)
     EXPECT_NO_THROW(faultPoint("eval.evaluate.canneal"));
 }
 
+TEST_F(FaultTest, EvaluatePhaseSiteIsArmable)
+{
+    // The evaluator's per-workload evaluate site (evaluator.cc) is
+    // the injection point the sweep retry path recovers from; keep
+    // it armable by spec (lva_audit's fault-orphan-site rule checks
+    // that every production site has a consumer like this).
+    setFaultSpecForTest("eval.evaluate.*=throw@first1");
+    EXPECT_THROW(faultPoint("eval.evaluate.canneal"), FaultInjected);
+    EXPECT_NO_THROW(faultPoint("eval.evaluate.canneal"));
+}
+
 TEST_F(FaultTest, AllocFailRaisesBadAlloc)
 {
     setFaultSpecForTest("p=allocfail");

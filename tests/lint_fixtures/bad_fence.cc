@@ -1,0 +1,12 @@
+// Unbalanced fence fixture: a stray end-allow (line 5) and a
+// begin-allow that never closes (line 7) are both findings; an open
+// fence suppresses nothing, so the rand() at line 11 still fires.
+#include <cstdlib>
+// lva-lint: end-allow
+int stray();
+// lva-lint: begin-allow(no-rand)
+int
+unclosed()
+{
+    return std::rand(); // line 11: NOT suppressed
+}

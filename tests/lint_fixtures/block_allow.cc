@@ -1,0 +1,17 @@
+// Block-scope suppression fixture: the fenced region silences
+// no-rand, identical hazards outside the fence still fire.
+#include <cstdlib>
+
+// lva-lint: begin-allow(no-rand)
+int
+insideFence()
+{
+    return std::rand(); // suppressed by the fence
+}
+// lva-lint: end-allow
+
+int
+outsideFence()
+{
+    return std::rand(); // line 16: fires
+}

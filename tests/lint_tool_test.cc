@@ -56,7 +56,7 @@ TEST(LintCatalog, ListsEveryRuleExactlyOnce)
         lva::lint::kNoRand, lva::lint::kNoWallClock,
         lva::lint::kNoUnorderedIteration,
         lva::lint::kNoPointerKeyedOrdered, lva::lint::kNoMutableGlobal,
-        lva::lint::kHotPathAlloc};
+        lva::lint::kHotPathAlloc, lva::lint::kBadAllowFence};
     EXPECT_EQ(ids, expected);
 }
 
@@ -201,6 +201,51 @@ TEST(LintSuppression, AllowOnlyCoversItsOwnRuleAndLine)
     EXPECT_EQ(hits(lintSource("src/core/f.cc", src2)),
               (std::multiset<std::pair<std::string, int>>{
                   {lva::lint::kNoRand, 3}}));
+}
+
+TEST(LintSuppression, BlockFenceCoversOnlyTheFencedRegion)
+{
+    const auto findings = lintSource("src/core/fixture.cc",
+                                     readFixture("block_allow.cc"));
+    // Inside the begin-allow/end-allow fence the rand() is silenced;
+    // the identical hazard after the fence still fires, and balanced
+    // fences produce no hygiene findings.
+    const std::multiset<std::pair<std::string, int>> expected = {
+        {lva::lint::kNoRand, 16},
+    };
+    EXPECT_EQ(hits(findings), expected);
+}
+
+TEST(LintSuppression, UnbalancedFencesAreFindings)
+{
+    const auto findings = lintSource("src/core/fixture.cc",
+                                     readFixture("bad_fence.cc"));
+    // Stray end-allow (line 5) and unclosed begin-allow (line 7) are
+    // both bad-allow-fence findings; an unclosed fence deliberately
+    // suppresses nothing, so the rand() at line 11 fires too.
+    const std::multiset<std::pair<std::string, int>> expected = {
+        {lva::lint::kBadAllowFence, 5},
+        {lva::lint::kBadAllowFence, 7},
+        {lva::lint::kNoRand, 11},
+    };
+    EXPECT_EQ(hits(findings), expected);
+}
+
+TEST(LintSuppression, FencesNestAndTrackTheirOwnRules)
+{
+    const std::string src = "// lva-lint: begin-allow(no-rand)\n"
+                            "// lva-lint: begin-allow(no-wall-clock)\n"
+                            "int a = rand();\n"
+                            "long b = time(nullptr);\n"
+                            "// lva-lint: end-allow\n"
+                            "long c = time(nullptr);\n"
+                            "// lva-lint: end-allow\n";
+    // The inner fence covers lines 2-5 (wall clock), the outer one
+    // lines 1-7 (rand): line 6's wall-clock read is outside its
+    // fence and fires.
+    EXPECT_EQ(hits(lintSource("src/core/f.cc", src)),
+              (std::multiset<std::pair<std::string, int>>{
+                  {lva::lint::kNoWallClock, 6}}));
 }
 
 TEST(LintClean, CleanFixtureAndExitSemantics)

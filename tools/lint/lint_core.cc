@@ -7,16 +7,9 @@
 #include <set>
 
 namespace lva::lint {
-namespace {
 
-/**
- * Replace comments, string literals and char literals with spaces,
- * preserving length and newlines so byte offsets keep mapping to the
- * same lines.  Handles //, multi-line block comments, escape sequences
- * and R"delim(...)delim" raw strings.
- */
 std::string
-stripCommentsAndStrings(const std::string &src)
+stripComments(const std::string &src, bool keepStrings)
 {
     std::string out = src;
     enum class State { Code, LineComment, BlockComment, Str, Char, RawStr };
@@ -27,6 +20,12 @@ stripCommentsAndStrings(const std::string &src)
     auto blank = [&](std::size_t i) {
         if (out[i] != '\n')
             out[i] = ' ';
+    };
+    // Literal bytes are preserved in keepStrings mode (registry
+    // extraction) and blanked in hazard-scan mode.
+    auto blankLit = [&](std::size_t i) {
+        if (!keepStrings)
+            blank(i);
     };
 
     for (std::size_t i = 0; i < n; ++i) {
@@ -49,11 +48,11 @@ stripCommentsAndStrings(const std::string &src)
                 if (open != std::string::npos) {
                     rawDelim = ")" + src.substr(i + 2, open - i - 2) + "\"";
                     state = State::RawStr;
-                    blank(i);
+                    blankLit(i);
                 }
             } else if (c == '"') {
                 state = State::Str;
-                blank(i);
+                blankLit(i);
             } else if (c == '\'' &&
                        (i == 0 || (!std::isalnum(
                                        static_cast<unsigned char>(src[i - 1])) &&
@@ -61,7 +60,7 @@ stripCommentsAndStrings(const std::string &src)
                 // Char literal; the guard keeps digit separators (1'000)
                 // and nested quotes out of the literal state machine.
                 state = State::Char;
-                blank(i);
+                blankLit(i);
             }
             break;
         case State::LineComment:
@@ -78,29 +77,29 @@ stripCommentsAndStrings(const std::string &src)
             }
             break;
         case State::Str:
-            blank(i);
+            blankLit(i);
             if (c == '\\' && next != '\0') {
-                blank(i + 1);
+                blankLit(i + 1);
                 ++i;
             } else if (c == '"') {
                 state = State::Code;
             }
             break;
         case State::Char:
-            blank(i);
+            blankLit(i);
             if (c == '\\' && next != '\0') {
-                blank(i + 1);
+                blankLit(i + 1);
                 ++i;
             } else if (c == '\'') {
                 state = State::Code;
             }
             break;
         case State::RawStr:
-            blank(i);
+            blankLit(i);
             if (c == rawDelim[0] && src.compare(i, rawDelim.size(),
                                                 rawDelim) == 0) {
                 for (std::size_t j = 0; j < rawDelim.size(); ++j)
-                    blank(i + j);
+                    blankLit(i + j);
                 i += rawDelim.size() - 1;
                 state = State::Code;
             }
@@ -110,7 +109,6 @@ stripCommentsAndStrings(const std::string &src)
     return out;
 }
 
-/** 1-based line number for every byte offset. */
 std::vector<int>
 buildLineTable(const std::string &src)
 {
@@ -125,18 +123,56 @@ buildLineTable(const std::string &src)
     return lineOf;
 }
 
-/**
- * Per-line suppression sets parsed from the *raw* source (the allow
- * comments live inside comments, which the stripped text has blanked).
- * result[line] holds the rule ids allowed on that line; "all" means
- * every rule.
- */
-std::map<int, std::set<std::string>>
-parseSuppressions(const std::string &src)
+bool
+Suppressions::allows(int line, const std::string &rule) const
 {
-    std::map<int, std::set<std::string>> allow;
-    static const std::regex re(
-        R"(lva-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+    // The inline form covers its own line and the one below it (the
+    // "annotation above the offender" idiom); fences cover exactly
+    // the lines between begin and end.
+    for (int l : {line, line - 1}) {
+        auto it = inlineAllow.find(l);
+        if (it != inlineAllow.end() &&
+            (it->second.count(rule) || it->second.count("all")))
+            return true;
+    }
+    auto it = fenceAllow.find(line);
+    return it != fenceAllow.end() &&
+           (it->second.count(rule) || it->second.count("all"));
+}
+
+Suppressions
+parseSuppressions(const std::string &relPath, const std::string &src,
+                  const std::string &tag)
+{
+    Suppressions out;
+    // The allow comments live inside comments, which the stripped
+    // text has blanked — so this parses the *raw* source, line by
+    // line.
+    const std::regex inlineRe(
+        tag + R"(:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+    const std::regex beginRe(
+        tag + R"(:\s*begin-allow\(([A-Za-z0-9_,\- ]+)\))");
+    const std::regex endRe(tag + R"(:\s*end-allow\b)");
+
+    auto parseList = [](const std::string &list) {
+        std::set<std::string> rules;
+        std::string item;
+        for (std::size_t i = 0; i <= list.size(); ++i) {
+            if (i == list.size() || list[i] == ',') {
+                const auto b = item.find_first_not_of(" \t");
+                const auto e = item.find_last_not_of(" \t");
+                if (b != std::string::npos)
+                    rules.insert(item.substr(b, e - b + 1));
+                item.clear();
+            } else {
+                item += list[i];
+            }
+        }
+        return rules;
+    };
+
+    // Open fences: (begin line, rule set).
+    std::vector<std::pair<int, std::set<std::string>>> open;
     int line = 1;
     std::size_t pos = 0;
     while (pos < src.size()) {
@@ -145,27 +181,38 @@ parseSuppressions(const std::string &src)
             eol = src.size();
         const std::string text = src.substr(pos, eol - pos);
         std::smatch m;
-        if (std::regex_search(text, m, re)) {
-            std::string list = m[1].str();
-            std::string item;
-            for (std::size_t i = 0; i <= list.size(); ++i) {
-                if (i == list.size() || list[i] == ',') {
-                    // trim
-                    const auto b = item.find_first_not_of(" \t");
-                    const auto e = item.find_last_not_of(" \t");
-                    if (b != std::string::npos)
-                        allow[line].insert(item.substr(b, e - b + 1));
-                    item.clear();
-                } else {
-                    item += list[i];
-                }
+        if (std::regex_search(text, m, beginRe)) {
+            open.emplace_back(line, parseList(m[1].str()));
+        } else if (std::regex_search(text, m, endRe)) {
+            if (open.empty()) {
+                out.fenceFindings.push_back(
+                    {relPath, line, kBadAllowFence,
+                     "end-allow without a matching begin-allow"});
+            } else {
+                for (int l = open.back().first; l <= line; ++l)
+                    out.fenceAllow[l].insert(
+                        open.back().second.begin(),
+                        open.back().second.end());
+                open.pop_back();
             }
+        } else if (std::regex_search(text, m, inlineRe)) {
+            const auto rules = parseList(m[1].str());
+            out.inlineAllow[line].insert(rules.begin(), rules.end());
         }
         pos = eol + 1;
         ++line;
     }
-    return allow;
+    for (const auto &[beginLine, rules] : open) {
+        (void)rules;
+        out.fenceFindings.push_back(
+            {relPath, beginLine, kBadAllowFence,
+             "begin-allow fence still open at end of file (add "
+             "end-allow)"});
+    }
+    return out;
 }
+
+namespace {
 
 bool
 pathHasPrefix(const std::string &path, const std::vector<std::string> &prefixes)
@@ -182,19 +229,13 @@ struct FileCtx
     const std::string &relPath;
     const std::string &stripped;
     const std::vector<int> &lineOf;
-    const std::map<int, std::set<std::string>> &allow;
+    const Suppressions &allow;
     std::vector<Finding> &findings;
 
     bool
     suppressed(int line, const std::string &rule) const
     {
-        for (int l : {line, line - 1}) {
-            auto it = allow.find(l);
-            if (it != allow.end() &&
-                (it->second.count(rule) || it->second.count("all")))
-                return true;
-        }
-        return false;
+        return allow.allows(line, rule);
     }
 
     void
@@ -492,6 +533,10 @@ ruleCatalog()
          "snapshot()/std::deque/std::string/make_unique/new/...) "
          "between lva-hot-path begin/end markers; the per-load paths "
          "must stay allocation-free (docs/performance.md)"},
+        {kBadAllowFence, "everywhere",
+         "flags unbalanced suppression fences: an end-allow without a "
+         "matching begin-allow, or a begin-allow still open at end of "
+         "file; fence hygiene errors cannot themselves be suppressed"},
     };
     return catalog;
 }
@@ -500,9 +545,11 @@ std::vector<Finding>
 lintSource(const std::string &relPath, const std::string &source,
            const Options &opts)
 {
-    const std::string stripped = stripCommentsAndStrings(source);
+    const std::string stripped =
+        stripComments(source, /*keepStrings=*/false);
     const std::vector<int> lineOf = buildLineTable(stripped);
-    const auto allow = parseSuppressions(source);
+    const Suppressions allow =
+        parseSuppressions(relPath, source, "lva-lint");
 
     std::vector<Finding> findings;
     FileCtx ctx{relPath, stripped, lineOf, allow, findings};
@@ -513,6 +560,9 @@ lintSource(const std::string &relPath, const std::string &source,
     checkUnorderedIteration(ctx, opts);
     checkMutableGlobal(ctx, opts);
     checkHotPathAlloc(ctx, source);
+
+    findings.insert(findings.end(), allow.fenceFindings.begin(),
+                    allow.fenceFindings.end());
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

@@ -18,9 +18,16 @@
  *
  *     // lva-lint: allow(<rule>[, <rule>...])
  *
- * placed on the offending line or on the line directly above it;
- * `allow(all)` suppresses every rule.  clang-tidy (scripts/lint.sh)
- * remains the deep-semantics companion pass where available.
+ * placed on the offending line or on the line directly above it, or
+ * for a whole region with
+ *
+ *     // lva-lint: begin-allow(no-rand)
+ *     ...
+ *     // lva-lint: end-allow
+ *
+ * (unbalanced fences are themselves findings); `allow(all)`
+ * suppresses every rule.  clang-tidy (scripts/lint.sh) remains the
+ * deep-semantics companion pass where available.
  *
  * Performance fences: regions bracketed by `// lva-hot-path: begin`
  * and `// lva-hot-path: end` comments (docs/performance.md) are
@@ -31,6 +38,8 @@
 #ifndef LVA_TOOLS_LINT_LINT_CORE_HH
 #define LVA_TOOLS_LINT_LINT_CORE_HH
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,9 +69,59 @@ inline constexpr char kNoUnorderedIteration[] = "no-unordered-iteration";
 inline constexpr char kNoPointerKeyedOrdered[] = "no-pointer-keyed-ordered";
 inline constexpr char kNoMutableGlobal[] = "no-mutable-global";
 inline constexpr char kHotPathAlloc[] = "hot-path-alloc";
+inline constexpr char kBadAllowFence[] = "bad-allow-fence";
 
 /** The full rule catalog, in stable display order. */
 const std::vector<RuleInfo> &ruleCatalog();
+
+// ---------------------------------------------------------------------
+// Lexing + suppression primitives, shared with tools/analyze (the
+// whole-project lva_audit model reuses exactly this comment/string
+// stripping and the same allow() grammar under its own "lva-audit"
+// tag).
+// ---------------------------------------------------------------------
+
+/**
+ * Blank comments (and, unless @p keepStrings, string/char literals)
+ * with spaces, preserving length and newlines so byte offsets keep
+ * mapping to the same lines.  Handles //, block comments, escape
+ * sequences and R"delim(...)delim" raw strings.  keepStrings=true is
+ * the registry-extraction mode: literals survive, comments do not.
+ */
+std::string stripComments(const std::string &source, bool keepStrings);
+
+/** 1-based line number for every byte offset of @p source. */
+std::vector<int> buildLineTable(const std::string &source);
+
+/**
+ * Per-file suppression state parsed from the raw source under a
+ * given comment tag ("lva-lint" or "lva-audit"):
+ *
+ *   // <tag>: allow(<rule>[, <rule>...])      same or previous line
+ *   // <tag>: begin-allow(<rule>[, ...])      block fence open
+ *   // <tag>: end-allow                       block fence close
+ *
+ * `allow(all)` (in either form) suppresses every rule.  Fences nest;
+ * an end-allow without a matching begin, or a begin-allow still open
+ * at end of file, is itself a finding (kBadAllowFence) — fence
+ * hygiene errors can never be suppressed.
+ */
+struct Suppressions
+{
+    /** allow() sets, keyed by line (applies to that line + the next). */
+    std::map<int, std::set<std::string>> inlineAllow;
+    /** begin/end-allow sets, expanded per fenced line. */
+    std::map<int, std::set<std::string>> fenceAllow;
+    /** Unbalanced-fence findings (rule kBadAllowFence). */
+    std::vector<Finding> fenceFindings;
+
+    /** Is @p rule suppressed on @p line? */
+    bool allows(int line, const std::string &rule) const;
+};
+
+Suppressions parseSuppressions(const std::string &relPath,
+                               const std::string &source,
+                               const std::string &tag);
 
 /** Path scoping knobs; defaults mirror the repository layout. */
 struct Options

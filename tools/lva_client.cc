@@ -43,6 +43,7 @@
 #include <thread>
 
 #include "eval/service.hh"
+#include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/net.hh"
 #include "util/stats_json.hh"
@@ -80,8 +81,8 @@ Options
 parse(int argc, char **argv)
 {
     Options opt;
-    if (const char *env = std::getenv("LVA_SERVE_PORT"))
-        opt.port = static_cast<u16>(std::atoi(env));
+    opt.port =
+        static_cast<u16>(envKnobU64("LVA_SERVE_PORT", 0, 0, 65535));
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage(argv[0]);
@@ -192,9 +193,10 @@ handleSweepResponse(const Options &opt, const JsonValue &resp)
 u32
 busyRetryBudget()
 {
-    if (const char *env = std::getenv("LVA_CLIENT_BUSY_RETRIES"))
-        return static_cast<u32>(std::atoi(env));
-    return 5;
+    // Strict parse: garbage or out-of-range budgets warn and keep
+    // the default 5 instead of silently becoming 0 (= no retries).
+    return static_cast<u32>(
+        envKnobU64("LVA_CLIENT_BUSY_RETRIES", 5, 0, 1000));
 }
 
 /** True when @p resp is a shed request ("busy":true). */

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "eval/service.hh"
+#include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/net.hh"
 
@@ -92,6 +93,7 @@ usage(const char *argv0)
 std::string
 defaultServedPath()
 {
+    // String-valued binary path. lva-audit: allow(knob-unvalidated)
     if (const char *env = std::getenv("LVA_FLEET_SERVED"))
         return env;
     // Sibling of this binary: build/tools/lva_fleet -> .../lva_served.
@@ -111,8 +113,9 @@ Options
 parse(int argc, char **argv)
 {
     Options opt;
-    if (const char *env = std::getenv("LVA_FLEET_SIZE"))
-        opt.fleet = static_cast<u32>(std::atoi(env));
+    // Strict parse (util/env_knob.hh): "2x" or "-1" warn and keep the
+    // default instead of silently becoming 2 or wrapping.
+    opt.fleet = static_cast<u32>(envKnobU64("LVA_FLEET_SIZE", 0, 1, 64));
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
             usage(argv[0]);
@@ -152,6 +155,8 @@ parse(int argc, char **argv)
 std::string
 firstIncarnationFault(u32 index)
 {
+    // String-valued fault routing spec, validated right below.
+    // lva-audit: allow(knob-unvalidated)
     const char *env = std::getenv("LVA_FLEET_FAULT");
     if (!env || !*env)
         return "";
