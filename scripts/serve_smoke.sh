@@ -220,4 +220,89 @@ for fleet in 1 3; do
     echo "serve_smoke: fleet=$fleet — SIGTERM drained, exit 0"
 done
 
+# ---- coordinator leg: one sweep sharded across a fleet, with a
+# worker killed mid-shard, the coordinator killed at scatter AND at
+# gather, and a --resume that must still produce identical bytes ----
+COORD="$BUILD/tools/lva_sweep_coord"
+if [[ ! -x "$COORD" ]]; then
+    echo "serve_smoke: $COORD not built (cmake --build $BUILD)" >&2
+    exit 1
+fi
+
+# A killed coordinator cannot tear its workers down; reap the strays
+# it announced before dying.
+reap_coord_workers() {
+    local log="$1"
+    local pid
+    while read -r pid; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
+    done < <(grep -oE '\) pid [0-9]+' "$log" | grep -oE '[0-9]+')
+}
+
+export LVA_RESULTS_DIR="$work/coord"
+
+echo "serve_smoke: coord — worker kill mid-shard (fleet=3, shards=3)"
+rc=0
+LVA_JOBS=2 LVA_FLEET_FAULT='*:serve.request.0=abort' \
+    "$COORD" --driver fig5_ghb_error --points "$points" \
+    --out "$work/coord.kill.json" --fleet 3 --shards 3 \
+    > "$work/coord.kill.log" 2>&1 || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+    echo "serve_smoke: coordinator exited $rc (want 0):" >&2
+    sed 's/^/  /' "$work/coord.kill.log" >&2
+    exit 1
+fi
+cmp "$reference" "$work/coord.kill.json"
+if ! grep -qE 'stealing|respawn|exited' "$work/coord.kill.log"; then
+    echo "serve_smoke: expected worker deaths in the coord log:" >&2
+    sed 's/^/  /' "$work/coord.kill.log" >&2
+    exit 1
+fi
+echo "serve_smoke: coord — export byte-identical across worker kills"
+
+# The 28-point grid populates all 3 shards, so both kill sites fire.
+echo "serve_smoke: coord — kill at coord.scatter.1, then coord.gather.2"
+rm -rf "$work/coord/checkpoints"
+rc=0
+LVA_JOBS=2 LVA_FAULT='coord.scatter.1=abort' \
+    "$COORD" --driver fig5_ghb_error --points "$points" \
+    --out "$work/coord.resume.json" --fleet 3 --shards 3 \
+    > "$work/coord.dead.log" 2>&1 || rc=$?
+reap_coord_workers "$work/coord.dead.log"
+if [[ "$rc" -ne 53 ]]; then
+    echo "serve_smoke: scatter abort exited $rc (want 53):" >&2
+    sed 's/^/  /' "$work/coord.dead.log" >&2
+    exit 1
+fi
+rc=0
+LVA_JOBS=2 LVA_FAULT='coord.gather.2=abort' \
+    "$COORD" --driver fig5_ghb_error --points "$points" \
+    --out "$work/coord.resume.json" --fleet 3 --shards 3 --resume \
+    > "$work/coord.dead2.log" 2>&1 || rc=$?
+reap_coord_workers "$work/coord.dead2.log"
+if [[ "$rc" -ne 53 ]]; then
+    echo "serve_smoke: gather abort exited $rc (want 53):" >&2
+    sed 's/^/  /' "$work/coord.dead2.log" >&2
+    exit 1
+fi
+
+echo "serve_smoke: coord — resuming from the checkpoint manifest"
+rc=0
+LVA_JOBS=2 "$COORD" --driver fig5_ghb_error --points "$points" \
+    --out "$work/coord.resume.json" --fleet 3 --shards 3 --resume \
+    --print-stats > "$work/coord.resume.log" 2>&1 || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+    echo "serve_smoke: resumed coordinator exited $rc (want 0):" >&2
+    sed 's/^/  /' "$work/coord.resume.log" >&2
+    exit 1
+fi
+cmp "$reference" "$work/coord.resume.json"
+if ! grep -q 'resumed' "$work/coord.resume.log"; then
+    echo "serve_smoke: expected resumed shards in the coord log:" >&2
+    sed 's/^/  /' "$work/coord.resume.log" >&2
+    exit 1
+fi
+echo "serve_smoke: coord — resumed export byte-identical"
+unset LVA_RESULTS_DIR
+
 echo "serve_smoke: OK"

@@ -121,6 +121,11 @@ fleetRouteKey(const std::string &requestJson)
                     key += ',';
                 key += n;
             }
+            // Shard-scoped sweeps (the coordinator's scatter) carry a
+            // "shard" member so distinct shards of one sweep spread
+            // across workers even when their workload sets overlap.
+            if (const JsonValue *shard = req.find("shard"))
+                key += "#shard:" + std::to_string(shard->asU64());
             return key;
         }
         return "op:" + op;
@@ -539,14 +544,53 @@ EvalService::handleSweep(const JsonValue &req)
     opts.driver = driver;
     const SweepOutcome outcome = runner_.runChecked(points, opts);
 
+    std::string out = okPrefix("sweep") +
+                      ",\"driver\":" + jsonQuote(driver) +
+                      ",\"points\":" + std::to_string(points.size()) +
+                      ",\"failures\":" +
+                      std::to_string(outcome.failures.size()) +
+                      ",\"resumed\":" + std::to_string(outcome.resumed);
+    // A shard-scoped request ("shard": n) is echoed back so the
+    // coordinator can verify the response matches its scatter.
+    if (const JsonValue *shard = req.find("shard"))
+        out += ",\"shard\":" + std::to_string(shard->asU64());
+
+    const JsonValue *detail = req.find("detail");
+    if (detail != nullptr && detail->type == JsonValue::Type::Bool &&
+        detail->boolean) {
+        // Detailed response (the coordinator's gather): per-point
+        // encoded results (null = failed) plus structured failures,
+        // instead of the rendered shard-local export — the
+        // coordinator merges shards and renders the export itself.
+        out += ",\"results\":[";
+        for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            out += outcome.results[i].failed
+                       ? "null"
+                       : encodeEvalResult(outcome.results[i]);
+        }
+        out += "],\"failureDetail\":[";
+        for (std::size_t i = 0; i < outcome.failures.size(); ++i) {
+            const PointFailure &f = outcome.failures[i];
+            if (i > 0)
+                out += ',';
+            out += "{\"index\":" + std::to_string(f.index) +
+                   ",\"label\":" + jsonQuote(f.label) +
+                   ",\"workload\":" + jsonQuote(f.workload) +
+                   ",\"error\":" + jsonQuote(f.error) +
+                   ",\"attempts\":" + std::to_string(f.attempts) +
+                   ",\"timedOut\":" +
+                   (f.timedOut ? "true" : "false") + "}";
+        }
+        out += "]}";
+        return out;
+    }
+
     // The export travels inside the response as a quoted string; the
     // client unescapes it back to the exact bytes the driver's
     // exportSweepStats would have written to results/stats/.
-    return okPrefix("sweep") + ",\"driver\":" + jsonQuote(driver) +
-           ",\"points\":" + std::to_string(points.size()) +
-           ",\"failures\":" + std::to_string(outcome.failures.size()) +
-           ",\"resumed\":" + std::to_string(outcome.resumed) +
-           ",\"export\":" +
+    return out + ",\"export\":" +
            jsonQuote(renderSweepStats(driver, points, outcome)) + "}";
 }
 

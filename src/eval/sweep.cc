@@ -104,6 +104,12 @@ failedPlaceholder()
 
 } // namespace
 
+EvalResult
+failedPointPlaceholder()
+{
+    return failedPlaceholder();
+}
+
 SweepOptions
 resolveSweepOptions(SweepOptions opts)
 {

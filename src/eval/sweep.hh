@@ -156,6 +156,14 @@ int reportSweepFailures(const SweepOutcome &outcome);
 int reportSweepFailures(const std::vector<PointFailure> &failures,
                         std::size_t total);
 
+/**
+ * The honest placeholder a failed point leaves in a result row:
+ * NaN scalars, NaN "eval.*" gauges, failed flag set. Exposed so the
+ * shard merge (eval/coord) can reconstruct a worker-side failure
+ * exactly as the local engine would have recorded it.
+ */
+EvalResult failedPointPlaceholder();
+
 /** Stable canonical rendering of a config (digest input). */
 std::string configKey(const ApproxMemory::Config &cfg);
 

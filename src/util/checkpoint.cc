@@ -286,7 +286,20 @@ JsonValue::asU64() const
 {
     if (type != Type::Number)
         throw std::runtime_error("JSON value is not a number");
-    return std::strtoull(text.c_str(), nullptr, 10);
+    // strtoull alone would wrap "-3" and truncate "1.5"; a u64
+    // counter is exactly a run of digits, so demand that (mirroring
+    // the strict parse in env_knob).
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        throw std::runtime_error("JSON number '" + text +
+                                 "' is not an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        throw std::runtime_error("JSON number '" + text +
+                                 "' does not fit in a u64");
+    return v;
 }
 
 const std::string &
@@ -301,6 +314,30 @@ JsonValue
 parseJson(const std::string &text)
 {
     return JsonReader(text).parse();
+}
+
+bool
+writeAllFd(int fd, const void *data, std::size_t n, WriteFn writeFn)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t wrote =
+            writeFn != nullptr ? writeFn(fd, p, n) : ::write(fd, p, n);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (wrote == 0) {
+            // A regular file should never return 0 for n > 0; treat
+            // it as an I/O error rather than spinning forever.
+            errno = EIO;
+            return false;
+        }
+        p += wrote;
+        n -= static_cast<std::size_t>(wrote);
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -360,10 +397,9 @@ CheckpointManifest::CheckpointManifest(const std::string &path,
             "{\"schema\":" + quoted(manifestSchema()) +
             ",\"driver\":" + quoted(driver) +
             ",\"context\":" + quoted(context) + "}\n";
-        if (::write(fd_, header.data(), header.size()) !=
-            static_cast<ssize_t>(header.size()))
-            lva_fatal("cannot write manifest header to '%s'",
-                      path_.c_str());
+        if (!writeAllFd(fd_, header.data(), header.size()))
+            lva_fatal("cannot write manifest header to '%s': %s",
+                      path_.c_str(), std::strerror(errno));
         ::fsync(fd_);
         goodBytes_ = header.size();
     }
@@ -459,10 +495,9 @@ CheckpointManifest::append(const std::string &digest,
     const std::string line = "{\"digest\":" + quoted(digest) +
                              ",\"payload\":" + payloadJson + "}\n";
     std::lock_guard<std::mutex> lock(mutex_);
-    if (::write(fd_, line.data(), line.size()) !=
-        static_cast<ssize_t>(line.size()))
-        lva_fatal("cannot append to checkpoint manifest '%s'",
-                  path_.c_str());
+    if (!writeAllFd(fd_, line.data(), line.size()))
+        lva_fatal("cannot append to checkpoint manifest '%s': %s",
+                  path_.c_str(), std::strerror(errno));
     ::fsync(fd_);
     records_[digest] = payloadJson;
 }

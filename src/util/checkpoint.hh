@@ -41,6 +41,19 @@ namespace lva {
 /** The manifest schema tag written into every header. */
 const char *manifestSchema();
 
+/** Signature of a write(2)-shaped function (injectable for tests). */
+using WriteFn = ssize_t (*)(int fd, const void *buf, std::size_t n);
+
+/**
+ * Write all @p n bytes of @p data to @p fd, retrying interrupted
+ * (EINTR) and short writes until everything is on its way to the
+ * kernel. Returns false on a hard error with errno describing it.
+ * @p writeFn substitutes for ::write in tests; nullptr uses the
+ * real syscall.
+ */
+bool writeAllFd(int fd, const void *data, std::size_t n,
+                WriteFn writeFn = nullptr);
+
 /** FNV-1a 64-bit over @p data (stable across platforms/runs). */
 u64 fnv1a64(const std::string &data);
 

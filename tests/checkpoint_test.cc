@@ -8,10 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/checkpoint.hh"
 
@@ -120,6 +122,28 @@ TEST(ParseJson, RejectsMalformedInput)
     EXPECT_THROW(parseJson("\"unterminated"), std::runtime_error);
     EXPECT_THROW(parseJson("1 2"), std::runtime_error); // trailing
     EXPECT_THROW(parseJson("nope"), std::runtime_error);
+}
+
+TEST(ParseJson, AsU64RejectsNonUnsignedNumbers)
+{
+    // asU64 guards every count the manifest and RPC layers trust
+    // (shard indices, result counts): a negative, fractional or
+    // overflowing number must throw, never silently truncate the way
+    // strtoull-with-no-checks would.
+    EXPECT_THROW(parseJson("\"7\"").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("-3").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("1.5").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("1e3").asU64(), std::runtime_error);
+    EXPECT_THROW(parseJson("[-1]").items[0].asU64(),
+                 std::runtime_error);
+    // One past u64 max: in range for strtoull's saturating parse but
+    // flagged by ERANGE.
+    EXPECT_THROW(parseJson("18446744073709551616").asU64(),
+                 std::runtime_error);
+    // The boundary itself still round-trips.
+    EXPECT_EQ(parseJson("18446744073709551615").asU64(),
+              18446744073709551615ull);
+    EXPECT_EQ(parseJson("0").asU64(), 0u);
 }
 
 TEST(ParseJson, FindAndAt)
@@ -252,6 +276,106 @@ TEST_F(ManifestTest, CreatesParentDirectories)
     CheckpointManifest m(nested, "drv", "ctx", false);
     m.append("d", R"({"x":1})");
     EXPECT_TRUE(fs::exists(nested));
+}
+
+// ---------------------------------------------------------------------
+// writeAllFd — the EINTR/short-write retry loop under every manifest
+// header and record append. WriteFn is a plain function pointer, so
+// the injected fakes script their behavior through file-static state.
+// ---------------------------------------------------------------------
+
+/** What the fake write functions append and consume. */
+std::string g_written;        // NOLINT: test scripting state
+std::vector<ssize_t> g_script; // per-call results; empty = write all
+std::size_t g_calls = 0;
+
+ssize_t
+fakeWrite(int /*fd*/, const void *buf, std::size_t n)
+{
+    ++g_calls;
+    ssize_t take = static_cast<ssize_t>(n);
+    if (!g_script.empty()) {
+        take = g_script.front();
+        g_script.erase(g_script.begin());
+    }
+    if (take < 0) {
+        errno = take == -2 ? EINTR : EIO;
+        return -1;
+    }
+    if (static_cast<std::size_t>(take) > n)
+        take = static_cast<ssize_t>(n);
+    g_written.append(static_cast<const char *>(buf),
+                     static_cast<std::size_t>(take));
+    return take;
+}
+
+class WriteAllFdTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_written.clear();
+        g_script.clear();
+        g_calls = 0;
+    }
+};
+
+TEST_F(WriteAllFdTest, WritesEverythingInOneCall)
+{
+    const std::string data = "hello manifest";
+    EXPECT_TRUE(writeAllFd(-1, data.data(), data.size(), fakeWrite));
+    EXPECT_EQ(g_written, data);
+    EXPECT_EQ(g_calls, 1u);
+}
+
+TEST_F(WriteAllFdTest, RetriesShortWritesUntilComplete)
+{
+    // The kernel may accept any prefix; the loop must resume at the
+    // right offset every time (1-byte drips are the worst case).
+    const std::string data = "0123456789";
+    g_script = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+    EXPECT_TRUE(writeAllFd(-1, data.data(), data.size(), fakeWrite));
+    EXPECT_EQ(g_written, data);
+    EXPECT_EQ(g_calls, 10u);
+}
+
+TEST_F(WriteAllFdTest, RetriesEintrWithoutLosingBytes)
+{
+    // -2 scripts an EINTR failure: a signal (SIGCHLD from a fleet
+    // worker, SIGTERM forwarded by a supervisor) interrupting the
+    // write must not drop the record or double-write a prefix.
+    const std::string data = "abcdef";
+    g_script = {-2, 3, -2, -2, 3};
+    EXPECT_TRUE(writeAllFd(-1, data.data(), data.size(), fakeWrite));
+    EXPECT_EQ(g_written, data);
+    EXPECT_EQ(g_calls, 5u);
+}
+
+TEST_F(WriteAllFdTest, HardErrorReturnsFalseWithErrno)
+{
+    const std::string data = "abcdef";
+    g_script = {3, -1}; // EIO after a partial write
+    errno = 0;
+    EXPECT_FALSE(writeAllFd(-1, data.data(), data.size(), fakeWrite));
+    EXPECT_EQ(errno, EIO);
+    EXPECT_EQ(g_written, "abc");
+}
+
+TEST_F(WriteAllFdTest, ZeroReturnIsTreatedAsAHardError)
+{
+    // A write(2) returning 0 for a nonzero count would loop forever
+    // if treated as progress; the helper converts it to EIO.
+    const std::string data = "xyz";
+    g_script = {0};
+    EXPECT_FALSE(writeAllFd(-1, data.data(), data.size(), fakeWrite));
+    EXPECT_EQ(errno, EIO);
+}
+
+TEST_F(WriteAllFdTest, ZeroLengthWriteSucceedsWithoutCalling)
+{
+    EXPECT_TRUE(writeAllFd(-1, "", 0, fakeWrite));
+    EXPECT_EQ(g_calls, 0u);
 }
 
 } // namespace

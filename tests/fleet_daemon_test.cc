@@ -174,6 +174,27 @@ class FleetDaemonTest : public ::testing::Test
         return 0;
     }
 
+    /**
+     * Parse worker @p index's pid from its spawn announcement
+     * ("lva_fleet: worker N (incarnation 0) pid P on ..."), waiting
+     * for the line to appear. Returns -1 when it never does.
+     */
+    pid_t
+    workerPid(int index) const
+    {
+        const std::string needle = "worker " + std::to_string(index) +
+                                   " (incarnation 0) pid ";
+        for (int tries = 0; tries < 100; ++tries) {
+            const std::string log = slurp(log_);
+            const std::size_t at = log.find(needle);
+            if (at != std::string::npos)
+                return std::atoi(log.c_str() + at + needle.size());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        return -1;
+    }
+
     int
     client(const std::string &args) const
     {
@@ -279,6 +300,37 @@ TEST_F(FleetDaemonTest, ShutdownRequestEndsTheWholeTree)
     EXPECT_EQ(reap(), 0) << slurp(log_);
     EXPECT_NE(slurp(log_).find("drained, exiting"),
               std::string::npos);
+}
+
+TEST_F(FleetDaemonTest, HungWorkerIsKilledWithinTheDrainDeadline)
+{
+    // A worker that stops responding (SIGSTOP stands in for a wedged
+    // process) must not hang the frontend's exit forever: the drain's
+    // bounded reap escalates to SIGKILL after its deadline and the
+    // frontend still exits 0. The old drain called waitpid(pid, .., 0)
+    // unconditionally, which blocked until the heat death of the
+    // stopped worker.
+    startFleet(1);
+    const pid_t worker = workerPid(0);
+    ASSERT_GT(worker, 0) << slurp(log_);
+    ASSERT_EQ(kill(worker, SIGSTOP), 0);
+
+    kill(pid_, SIGTERM);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(reap(), 0) << slurp(log_);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start);
+    // Shutdown frame timeouts + the 2s reap deadline, with headroom:
+    // well under a minute, where the old code never returned.
+    EXPECT_LT(elapsed.count(), 30);
+    const std::string log = slurp(log_);
+    EXPECT_NE(log.find("SIGKILL"), std::string::npos) << log;
+    EXPECT_NE(log.find("drained, exiting"), std::string::npos);
+
+    // The stopped worker really is gone (SIGKILL acts on stopped
+    // processes; the frontend reaped it).
+    EXPECT_NE(kill(worker, 0), 0);
 }
 
 } // namespace

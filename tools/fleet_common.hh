@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Shared lva_served worker supervision for the fleet-shaped tools
+ * (lva_fleet, lva_sweep_coord): spawn a worker on an ephemeral port,
+ * parse the announced port from its stdout pipe, arm a first-
+ * incarnation fault from LVA_FLEET_FAULT, and reap it with a bounded
+ * wait that escalates to SIGKILL — so a wedged worker can never hang
+ * a drain forever (docs/serving.md, "The fleet").
+ */
+
+#ifndef LVA_TOOLS_FLEET_COMMON_HH
+#define LVA_TOOLS_FLEET_COMMON_HH
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace lva::fleet {
+
+/** One supervised lva_served process. */
+struct Worker
+{
+    pid_t pid = -1;
+    u16 port = 0;
+    int pipeFd = -1;     ///< read end of the worker's stdout
+    u32 incarnation = 0; ///< 0 = first spawn, >0 = respawn
+};
+
+/** Worker binary path: LVA_FLEET_SERVED, else a sibling lva_served. */
+inline std::string
+defaultServedPath()
+{
+    // String-valued binary path. lva-audit: allow(knob-unvalidated)
+    if (const char *env = std::getenv("LVA_FLEET_SERVED"))
+        return env;
+    // Sibling of this binary: build/tools/lva_fleet -> .../lva_served.
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        std::string self(buf);
+        const std::size_t slash = self.rfind('/');
+        if (slash != std::string::npos)
+            return self.substr(0, slash + 1) + "lva_served";
+    }
+    return "lva_served";
+}
+
+/**
+ * The fault armed for one worker's first incarnation, from
+ * LVA_FLEET_FAULT="<idx|*>:<spec>" ("" = none). Respawns never
+ * inherit it — that is the whole point of routing the injection
+ * through the supervisor instead of plain LVA_FAULT.
+ */
+inline std::string
+firstIncarnationFault(u32 index)
+{
+    // String-valued fault routing spec, validated right below.
+    // lva-audit: allow(knob-unvalidated)
+    const char *env = std::getenv("LVA_FLEET_FAULT");
+    if (!env || !*env)
+        return "";
+    const std::string spec(env);
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        lva_warn("ignoring malformed LVA_FLEET_FAULT=\"%s\"", env);
+        return "";
+    }
+    const std::string target = spec.substr(0, colon);
+    if (target != "*" && target != std::to_string(index))
+        return "";
+    return spec.substr(colon + 1);
+}
+
+/**
+ * Wait for the worker's "listening on 127.0.0.1:<port>" line on
+ * @p fd (its stdout pipe) and return the port; 0 on timeout/EOF.
+ */
+inline u16
+readWorkerPort(int fd, u64 timeoutMs)
+{
+    std::string buf;
+    for (;;) {
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, static_cast<int>(timeoutMs));
+        if (r <= 0)
+            return 0;
+        char chunk[256];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            return 0;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        const std::size_t at = buf.find("127.0.0.1:");
+        if (at != std::string::npos) {
+            const std::size_t digits = at + std::strlen("127.0.0.1:");
+            if (buf.find('\n', digits) == std::string::npos)
+                continue; // port digits may still be in flight
+            return static_cast<u16>(std::atoi(buf.c_str() + digits));
+        }
+    }
+}
+
+/**
+ * Fork+exec @p served for worker @p index on an ephemeral port; its
+ * stdout becomes a pipe the supervisor parses the port from (and
+ * keeps open for the worker's lifetime — the worker writes its drain
+ * line there at exit and must not take SIGPIPE). @p passThrough
+ * flags are forwarded verbatim; @p tag prefixes the announce line
+ * ("<tag>: worker ..."). Fatal if the worker never announces.
+ */
+inline void
+spawnWorker(const std::string &served,
+            const std::vector<std::string> &passThrough, u32 index,
+            Worker &w, const char *tag)
+{
+    if (w.pipeFd >= 0) {
+        ::close(w.pipeFd);
+        w.pipeFd = -1;
+    }
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        lva_fatal("%s: pipe: %s", tag, std::strerror(errno));
+
+    const std::string fault =
+        w.incarnation == 0 ? firstIncarnationFault(index) : "";
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        lva_fatal("%s: fork: %s", tag, std::strerror(errno));
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[1]);
+        if (!fault.empty())
+            ::setenv("LVA_FAULT", fault.c_str(), 1);
+        else
+            ::unsetenv("LVA_FAULT");
+        // The supervisor owns fleet policy; a worker must never
+        // recurse into fleet spawning via inherited knobs.
+        ::unsetenv("LVA_FLEET_FAULT");
+        ::unsetenv("LVA_SERVE_PORT");
+
+        std::vector<const char *> args;
+        args.push_back(served.c_str());
+        args.push_back("--port");
+        args.push_back("0");
+        for (const std::string &a : passThrough)
+            args.push_back(a.c_str());
+        args.push_back(nullptr);
+        ::execv(served.c_str(),
+                const_cast<char *const *>(args.data()));
+        std::fprintf(stderr, "%s: exec %s: %s\n", tag, served.c_str(),
+                     std::strerror(errno));
+        ::_Exit(127);
+    }
+
+    ::close(fds[1]);
+    w.pid = pid;
+    w.pipeFd = fds[0];
+    w.port = readWorkerPort(fds[0], 30000);
+    if (w.port == 0)
+        lva_fatal("%s: worker %u did not announce a port", tag, index);
+    std::fprintf(stderr,
+                 "%s: worker %u (incarnation %u) pid %d "
+                 "on 127.0.0.1:%u\n",
+                 tag, index, w.incarnation, static_cast<int>(pid),
+                 static_cast<unsigned>(w.port));
+    ++w.incarnation;
+}
+
+/**
+ * Reap @p pid with a bounded wait: WNOHANG-poll until it exits or
+ * @p deadlineMs elapses, then SIGKILL it and wait for real — so a
+ * wedged (e.g. SIGSTOP'd) worker cannot hang a SIGTERM drain.
+ * Returns true when the process exited on its own, false when it
+ * had to be killed (logged with @p what as the subject).
+ */
+inline bool
+reapBounded(pid_t pid, u64 deadlineMs, const std::string &what)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        int st = 0;
+        const pid_t r = ::waitpid(pid, &st, WNOHANG);
+        if (r == pid || (r < 0 && errno == ECHILD))
+            return true;
+        const u64 elapsed = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        if (elapsed >= deadlineMs)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    lva_warn("%s did not exit within %llu ms; sending SIGKILL",
+             what.c_str(),
+             static_cast<unsigned long long>(deadlineMs));
+    ::kill(pid, SIGKILL);
+    int st = 0;
+    ::waitpid(pid, &st, 0); // SIGKILL cannot be blocked; returns fast
+    return false;
+}
+
+} // namespace lva::fleet
+
+#endif // LVA_TOOLS_FLEET_COMMON_HH

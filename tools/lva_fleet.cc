@@ -31,7 +31,9 @@
  * so an injected kill cannot re-fire in the respawned process.
  *
  * SIGTERM / SIGINT / a `shutdown` request drain: stop accepting,
- * finish in-flight relays, shut every worker down, reap them, exit 0.
+ * finish in-flight relays, shut every worker down, reap them with a
+ * bounded wait (a wedged worker is SIGKILLed after a deadline rather
+ * than hanging the drain), exit 0.
  */
 
 #include <fcntl.h>
@@ -52,6 +54,7 @@
 #include <vector>
 
 #include "eval/service.hh"
+#include "fleet_common.hh"
 #include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/net.hh"
@@ -90,25 +93,6 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-std::string
-defaultServedPath()
-{
-    // String-valued binary path. lva-audit: allow(knob-unvalidated)
-    if (const char *env = std::getenv("LVA_FLEET_SERVED"))
-        return env;
-    // Sibling of this binary: build/tools/lva_fleet -> .../lva_served.
-    char buf[4096];
-    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-    if (n > 0) {
-        buf[n] = '\0';
-        std::string self(buf);
-        const std::size_t slash = self.rfind('/');
-        if (slash != std::string::npos)
-            return self.substr(0, slash + 1) + "lva_served";
-    }
-    return "lva_served";
-}
-
 Options
 parse(int argc, char **argv)
 {
@@ -142,73 +126,11 @@ parse(int argc, char **argv)
     if (opt.fleet == 0)
         opt.fleet = 2;
     if (opt.served.empty())
-        opt.served = defaultServedPath();
+        opt.served = fleet::defaultServedPath();
     return opt;
 }
 
-/**
- * The fault armed for one worker's first incarnation, from
- * LVA_FLEET_FAULT="<idx|*>:<spec>" ("" = none). Respawns never
- * inherit it — that is the whole point of routing the injection
- * through the frontend instead of plain LVA_FAULT.
- */
-std::string
-firstIncarnationFault(u32 index)
-{
-    // String-valued fault routing spec, validated right below.
-    // lva-audit: allow(knob-unvalidated)
-    const char *env = std::getenv("LVA_FLEET_FAULT");
-    if (!env || !*env)
-        return "";
-    const std::string spec(env);
-    const std::size_t colon = spec.find(':');
-    if (colon == std::string::npos) {
-        lva_warn("ignoring malformed LVA_FLEET_FAULT=\"%s\"", env);
-        return "";
-    }
-    const std::string target = spec.substr(0, colon);
-    if (target != "*" && target != std::to_string(index))
-        return "";
-    return spec.substr(colon + 1);
-}
-
-/** One supervised lva_served process. */
-struct Worker
-{
-    pid_t pid = -1;
-    u16 port = 0;
-    int pipeFd = -1;      ///< read end of the worker's stdout
-    u32 incarnation = 0;  ///< 0 = first spawn, >0 = respawn
-};
-
-/**
- * Wait for the worker's "listening on 127.0.0.1:<port>" line on
- * @p fd (its stdout pipe) and return the port; 0 on timeout/EOF.
- */
-u16
-readWorkerPort(int fd, u64 timeoutMs)
-{
-    std::string buf;
-    for (;;) {
-        struct pollfd pfd = {fd, POLLIN, 0};
-        const int r = ::poll(&pfd, 1, static_cast<int>(timeoutMs));
-        if (r <= 0)
-            return 0;
-        char chunk[256];
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n <= 0)
-            return 0;
-        buf.append(chunk, static_cast<std::size_t>(n));
-        const std::size_t at = buf.find("127.0.0.1:");
-        if (at != std::string::npos) {
-            const std::size_t digits = at + std::strlen("127.0.0.1:");
-            if (buf.find('\n', digits) == std::string::npos)
-                continue; // port digits may still be in flight
-            return static_cast<u16>(
-                std::atoi(buf.c_str() + digits));
-        }
-    }
-}
+using fleet::Worker;
 
 /** The supervised fleet: spawn, route, respawn, drain. */
 class Fleet
@@ -285,87 +207,58 @@ class Fleet
         return response;
     }
 
-    /** Reap every worker (after shutdown frames were sent). */
+    /**
+     * Drain every worker: one best-effort shutdown frame each (when
+     * @p sendShutdown; a wedged worker just times the frame out),
+     * then a bounded reap that escalates to SIGKILL after
+     * @p reapDeadlineMs — so SIGTERM drain always terminates even
+     * with a hung worker.
+     */
     void
-    reapAll()
+    drainAll(bool sendShutdown, u64 frameTimeoutMs, u64 reapDeadlineMs)
     {
-        for (Worker &w : workers_) {
-            if (w.pid > 0) {
-                int st = 0;
-                ::waitpid(w.pid, &st, 0);
-                w.pid = -1;
+        if (sendShutdown) {
+            const std::string req = "{\"schema\":\"lva-rpc-v1\","
+                                    "\"op\":\"shutdown\"}";
+            for (u32 i = 0; i < workers_.size(); ++i) {
+                Worker &w = workers_[i];
+                if (w.pid <= 0)
+                    continue;
+                try {
+                    TcpStream conn = TcpStream::connectTo(
+                        "127.0.0.1", w.port, frameTimeoutMs);
+                    writeFrame(conn, req, frameTimeoutMs);
+                    std::string response;
+                    readFrame(conn, response, frameTimeoutMs);
+                } catch (const std::exception &e) {
+                    // Dead or wedged either way; the bounded reap
+                    // below settles it.
+                    lva_warn("fleet: shutdown frame to worker %u: %s",
+                             i, e.what());
+                }
             }
+        }
+        for (u32 i = 0; i < workers_.size(); ++i) {
+            Worker &w = workers_[i];
+            if (w.pid <= 0)
+                continue;
+            fleet::reapBounded(w.pid, reapDeadlineMs,
+                               "fleet: worker " + std::to_string(i) +
+                                   " (pid " +
+                                   std::to_string(w.pid) + ")");
+            w.pid = -1;
         }
     }
 
     u32 size() const { return static_cast<u32>(workers_.size()); }
 
   private:
-    /**
-     * Fork+exec worker @p index on an ephemeral port; its stdout
-     * becomes a pipe the frontend parses the port from (and keeps
-     * open for the worker's lifetime — the worker writes its drain
-     * line there at exit and must not take SIGPIPE).
-     */
+    /** Spawn worker @p index via the shared fleet helper. */
     void
     spawn(u32 index)
     {
-        Worker &w = workers_[index];
-        if (w.pipeFd >= 0) {
-            ::close(w.pipeFd);
-            w.pipeFd = -1;
-        }
-
-        int fds[2];
-        if (::pipe(fds) != 0)
-            lva_fatal("fleet: pipe: %s", std::strerror(errno));
-
-        const std::string fault =
-            w.incarnation == 0 ? firstIncarnationFault(index) : "";
-
-        const pid_t pid = ::fork();
-        if (pid < 0)
-            lva_fatal("fleet: fork: %s", std::strerror(errno));
-        if (pid == 0) {
-            ::close(fds[0]);
-            ::dup2(fds[1], STDOUT_FILENO);
-            ::close(fds[1]);
-            if (!fault.empty())
-                ::setenv("LVA_FAULT", fault.c_str(), 1);
-            else
-                ::unsetenv("LVA_FAULT");
-            // The frontend owns fleet policy; a worker must never
-            // recurse into fleet spawning via inherited knobs.
-            ::unsetenv("LVA_FLEET_FAULT");
-            ::unsetenv("LVA_SERVE_PORT");
-
-            std::vector<const char *> args;
-            args.push_back(opt_.served.c_str());
-            args.push_back("--port");
-            args.push_back("0");
-            for (const std::string &a : opt_.passThrough)
-                args.push_back(a.c_str());
-            args.push_back(nullptr);
-            ::execv(opt_.served.c_str(),
-                    const_cast<char *const *>(args.data()));
-            std::fprintf(stderr, "fleet: exec %s: %s\n",
-                         opt_.served.c_str(), std::strerror(errno));
-            ::_Exit(127);
-        }
-
-        ::close(fds[1]);
-        w.pid = pid;
-        w.pipeFd = fds[0];
-        w.port = readWorkerPort(fds[0], 30000);
-        if (w.port == 0)
-            lva_fatal("fleet: worker %u did not announce a port",
-                      index);
-        std::fprintf(stderr,
-                     "lva_fleet: worker %u (incarnation %u) pid %d "
-                     "on 127.0.0.1:%u\n",
-                     index, w.incarnation, static_cast<int>(pid),
-                     static_cast<unsigned>(w.port));
-        ++w.incarnation;
+        fleet::spawnWorker(opt_.served, opt_.passThrough, index,
+                           workers_[index], "lva_fleet");
     }
 
     /** If worker @p index exited, log and respawn it. Lock held. */
@@ -470,14 +363,10 @@ main(int argc, char **argv)
         t.join();
 
     // Drain the workers: a relayed `shutdown` already reached them
-    // all; a signal-initiated stop still owes them the frame.
-    if (!shutdownSeen.load()) {
-        const std::string req =
-            std::string("{\"schema\":\"lva-rpc-v1\","
-                        "\"op\":\"shutdown\"}");
-        fleet.broadcast(req, 10000);
-    }
-    fleet.reapAll();
+    // all; a signal-initiated stop still owes them the frame. Either
+    // way the reap is bounded, so a wedged worker is SIGKILLed
+    // instead of hanging the drain.
+    fleet.drainAll(!shutdownSeen.load(), 2000, 2000);
 
     std::printf("lva_fleet: drained, exiting\n");
     return 0;
