@@ -11,6 +11,7 @@
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
+#include "sim/machine_config.hh"
 #include "util/bench_timer.hh"
 #include "util/results_dir.hh"
 #include "util/table.hh"
@@ -44,6 +45,7 @@ main(int argc, char **argv)
     const auto &names = allWorkloadNames();
     const SweepOptions opts =
         sweepOptionsFromCli("ablation_coherence", argc, argv);
+    const MachineConfig &machine = sweepMachine(opts);
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),
@@ -52,15 +54,15 @@ main(int argc, char **argv)
             WorkloadParams params;
             params.seed = 1;
             params.scale = fsScaleFromEnv();
+            params.threads = machine.cores;
             auto w = makeWorkload(name, params);
             w->generate();
             TraceRecorder rec(params.threads);
             w->run(rec);
 
             auto run = [&](CoherenceProtocol proto, bool lva_on) {
-                FullSystemConfig cfg = lva_on
-                                           ? FullSystemConfig::lva(4)
-                                           : FullSystemConfig::baseline();
+                FullSystemConfig cfg =
+                    machine.fullSystem(lva_on, /*degree=*/4);
                 cfg.protocol = proto;
                 FullSystemSim sim(cfg);
                 return sim.run(rec.traces());

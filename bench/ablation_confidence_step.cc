@@ -29,22 +29,27 @@ main(int argc, char **argv)
     Table table({"benchmark", "MPKI fixed", "MPKI proportional",
                  "error fixed", "error proportional"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_confidence_step", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
-        ApproxMemory::Config fixed = Evaluator::baselineLva();
-        fixed.approx.confidenceForInts = true;
-        fixed.approx.confidenceWindow = 0.10;
+        ApproxMemory::Config fixed = machineBaseLva(opts);
+        fixed.editApprox([](ApproximatorConfig &a) {
+            a.confidenceForInts = true;
+            a.confidenceWindow = 0.10;
+        });
 
         ApproxMemory::Config prop = fixed;
-        prop.approx.proportionalConfidence = true;
+        prop.editApprox([](ApproximatorConfig &a) {
+            a.proportionalConfidence = true;
+        });
 
         points.push_back({"fixed", name, fixed});
         points.push_back({"proportional", name, prop});
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("ablation_confidence_step", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

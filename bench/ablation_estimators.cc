@@ -32,19 +32,21 @@ main(int argc, char **argv)
 
     std::vector<double> mpki_sum(3, 0.0), err_sum(3, 0.0);
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_estimators", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 i = 0; i < 3; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.estimator = fns[i];
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.estimator = fns[i]; });
             points.push_back(
                 {fn_names[i], name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("ablation_estimators", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

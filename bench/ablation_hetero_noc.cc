@@ -13,6 +13,7 @@
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
+#include "sim/machine_config.hh"
 #include "util/bench_timer.hh"
 #include "util/results_dir.hh"
 #include "util/table.hh"
@@ -42,6 +43,7 @@ main(int argc, char **argv)
     const auto &names = allWorkloadNames();
     const SweepOptions opts =
         sweepOptionsFromCli("ablation_hetero_noc", argc, argv);
+    const MachineConfig &machine = sweepMachine(opts);
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),
@@ -50,19 +52,23 @@ main(int argc, char **argv)
             WorkloadParams params;
             params.seed = 1;
             params.scale = fsScaleFromEnv();
+            params.threads = machine.cores;
             auto w = makeWorkload(name, params);
             w->generate();
             TraceRecorder rec(params.threads);
             w->run(rec);
 
-            FullSystemSim base_sim(FullSystemConfig::baseline());
+            FullSystemSim base_sim(machine.fullSystem(false));
             const FullSystemResult base = base_sim.run(rec.traces());
 
-            FullSystemConfig homo_cfg = FullSystemConfig::lva(4);
+            // The homo/hetero legs are the ablation axis, so they
+            // override whatever the machine file says.
+            FullSystemConfig homo_cfg = machine.fullSystem(true, 4);
+            homo_cfg.heteroNoc = false;
             FullSystemSim homo_sim(homo_cfg);
             const FullSystemResult homo = homo_sim.run(rec.traces());
 
-            FullSystemConfig hetero_cfg = FullSystemConfig::lva(4);
+            FullSystemConfig hetero_cfg = machine.fullSystem(true, 4);
             hetero_cfg.heteroNoc = true;
             FullSystemSim hetero_sim(hetero_cfg);
             const FullSystemResult hetero = hetero_sim.run(rec.traces());

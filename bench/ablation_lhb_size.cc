@@ -27,19 +27,21 @@ main(int argc, char **argv)
     Table mpki({"benchmark", "LHB-1", "LHB-2", "LHB-4", "LHB-8"});
     Table error({"benchmark", "LHB-1", "LHB-2", "LHB-4", "LHB-8"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_lhb_size", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 entries : sizes) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.lhbEntries = entries;
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.lhbEntries = entries; });
             points.push_back(
                 {"lhb-" + std::to_string(entries), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("ablation_lhb_size", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

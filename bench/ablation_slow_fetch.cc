@@ -13,6 +13,7 @@
 #include "cpu/trace.hh"
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
+#include "sim/machine_config.hh"
 #include "util/bench_timer.hh"
 #include "util/results_dir.hh"
 #include "util/table.hh"
@@ -42,6 +43,7 @@ main(int argc, char **argv)
     const auto &names = allWorkloadNames();
     const SweepOptions opts =
         sweepOptionsFromCli("ablation_slow_fetch", argc, argv);
+    const MachineConfig &machine = sweepMachine(opts);
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),
@@ -50,12 +52,13 @@ main(int argc, char **argv)
             WorkloadParams params;
             params.seed = 1;
             params.scale = fsScaleFromEnv();
+            params.threads = machine.cores;
             auto w = makeWorkload(name, params);
             w->generate();
             TraceRecorder rec(params.threads);
             w->run(rec);
 
-            FullSystemSim base_sim(FullSystemConfig::baseline());
+            FullSystemSim base_sim(machine.fullSystem(false));
             const FullSystemResult base = base_sim.run(rec.traces());
             const double base_cycles =
                 base.stats.valueOf("system.cycles");
@@ -64,7 +67,9 @@ main(int argc, char **argv)
             res.row = {name};
             res.snaps = {{name + "/baseline", name, base.stats}};
             for (u32 extra : extras) {
-                FullSystemConfig cfg = FullSystemConfig::lva(4);
+                // The extra latency is the ablation axis; it
+                // overrides the machine file's setting.
+                FullSystemConfig cfg = machine.fullSystem(true, 4);
                 cfg.backgroundFetchExtraLatency = extra;
                 FullSystemSim sim(cfg);
                 const FullSystemResult r = sim.run(rec.traces());

@@ -29,22 +29,25 @@ main(int argc, char **argv)
     Table mpki({"benchmark", "1-way", "2-way", "4-way", "8-way"});
     Table error({"benchmark", "1-way", "2-way", "4-way", "8-way"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_table_assoc", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 w : ways) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            ApproxMemory::Config cfg = machineBaseLva(opts);
             // GHB 2 makes contexts value-dependent, where aliasing
             // actually occurs (PC-only contexts are too few to alias).
-            cfg.approx.ghbEntries = 2;
-            cfg.approx.tableAssoc = w;
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.ghbEntries = 2;
+                a.tableAssoc = w;
+            });
             points.push_back(
                 {"ways-" + std::to_string(w), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("ablation_table_assoc", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -28,19 +28,22 @@ main(int argc, char **argv)
     Table mpki({"benchmark", "32", "128", "512", "2048"});
     Table error({"benchmark", "32", "128", "512", "2048"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("ablation_table_size", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 entries : sizes) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.tableEntries = entries;
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.tableEntries = entries;
+            });
             points.push_back(
                 {"entries-" + std::to_string(entries), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("ablation_table_size", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

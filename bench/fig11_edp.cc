@@ -36,7 +36,10 @@ main(int argc, char **argv)
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),
-        [&](u64 i) { return runFullSystemSweep(names[i], degrees); },
+        [&](u64 i) {
+            return runFullSystemSweep(names[i], degrees, 1, 0.0,
+                                      opts.machine.get());
+        },
         opts, [&names](u64 i) { return names[i]; });
 
     std::vector<FsSweep> sweeps;

@@ -34,6 +34,9 @@ main(int argc, char **argv)
     const auto &names = allWorkloadNames();
     const SweepOptions opts =
         sweepOptionsFromCli("fig12_static_loads", argc, argv);
+    // A machine only changes the thread count here: the census is
+    // static, but sites are per-thread-partition in some kernels.
+    params.threads = machineBaseLva(opts).threads;
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),

@@ -28,19 +28,22 @@ main(int argc, char **argv)
     Table table({"precision loss (bits)", "normalized MPKI",
                  "output error", "coverage"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig13_precision", argc, argv);
+
     std::vector<SweepPoint> points;
     for (u32 drop : drops) {
-        ApproxMemory::Config cfg = Evaluator::baselineLva();
-        cfg.approx.ghbEntries = 2;
-        cfg.approx.confidenceDisabled = true;
-        cfg.approx.mantissaDropBits = drop;
+        ApproxMemory::Config cfg = machineBaseLva(opts);
+        cfg.editApprox([&](ApproximatorConfig &a) {
+            a.ghbEntries = 2;
+            a.confidenceDisabled = true;
+            a.mantissaDropBits = drop;
+        });
         points.push_back(
             {"drop-" + std::to_string(drop), "fluidanimate", cfg});
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig13_precision", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -34,6 +34,8 @@ main(int argc, char **argv)
     };
     const SweepOptions opts =
         sweepOptionsFromCli("fig1_bodytrack_output", argc, argv);
+    const ApproxMemory::Config lva_cfg = machineBaseLva(opts);
+    params.threads = lva_cfg.threads;
     SweepRunner runner;
     auto outcome = runner.mapChecked(
         2,
@@ -41,8 +43,9 @@ main(int argc, char **argv)
             Run run;
             run.w = std::make_unique<BodytrackWorkload>(params);
             run.w->generate();
-            ApproxMemory mem(i == 0 ? Evaluator::preciseConfig()
-                                    : Evaluator::baselineLva());
+            ApproxMemory mem(i == 0
+                                 ? Evaluator::preciseBaseFor(lva_cfg)
+                                 : lva_cfg);
             run.w->run(mem);
             run.stats = mem.snapshot();
             return run;

@@ -31,19 +31,26 @@ main(int argc, char **argv)
     std::vector<double> lvp_sum(4, 0.0), lva_sum(4, 0.0);
 
     // 8 sweep points per benchmark: LVP then LVA across GHB sizes.
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig4_ghb_mpki", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            ApproxMemory::Config cfg = machineBaseLva(opts);
             cfg.mode = MemMode::Lvp;
-            cfg.approx.ghbEntries = ghb_sizes[i];
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.ghbEntries = ghb_sizes[i];
+            });
             points.push_back(
                 {"lvp-ghb-" + std::to_string(ghb_sizes[i]), name,
                  cfg});
         }
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.ghbEntries = ghb_sizes[i];
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.ghbEntries = ghb_sizes[i];
+            });
             points.push_back(
                 {"lva-ghb-" + std::to_string(ghb_sizes[i]), name,
                  cfg});
@@ -51,8 +58,6 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig4_ghb_mpki", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

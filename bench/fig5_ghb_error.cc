@@ -26,19 +26,22 @@ main(int argc, char **argv)
     Table table({"benchmark", "GHB-0", "GHB-1", "GHB-2", "GHB-4",
                  "coverage@GHB-0"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig5_ghb_error", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.ghbEntries = ghb_sizes[i];
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.ghbEntries = ghb_sizes[i];
+            });
             points.push_back(
                 {"ghb-" + std::to_string(ghb_sizes[i]), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig5_ghb_error", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -43,23 +43,26 @@ main(int argc, char **argv)
                 "infinite"});
     Table error({"benchmark", "5%", "10%", "20%", "infinite"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig6_confidence", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (const Window &w : windows) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            ApproxMemory::Config cfg = machineBaseLva(opts);
             if (w.lvp) {
                 cfg.mode = MemMode::Lvp;
             } else {
-                cfg.approx.confidenceWindow = w.value;
-                cfg.approx.confidenceForInts = true;
+                cfg.editApprox([&](ApproximatorConfig &a) {
+                    a.confidenceWindow = w.value;
+                    a.confidenceForInts = true;
+                });
             }
             points.push_back({w.label, name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig6_confidence", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

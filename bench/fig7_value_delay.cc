@@ -28,19 +28,21 @@ main(int argc, char **argv)
     Table error({"benchmark", "delay-4", "delay-8", "delay-16",
                  "delay-32"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig7_value_delay", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 d : delays) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.valueDelay = d;
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.valueDelay = d; });
             points.push_back(
                 {"delay-" + std::to_string(d), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig7_value_delay", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -35,10 +35,13 @@ main(int argc, char **argv)
 
     std::vector<double> pf_fetch_sum(4, 0.0), ap_fetch_sum(4, 0.0);
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig8_degree_fetches", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
+            ApproxMemory::Config cfg = machineBaseLva(opts);
             cfg.mode = MemMode::Prefetch;
             cfg.prefetch.degree = degrees[i];
             points.push_back(
@@ -46,8 +49,10 @@ main(int argc, char **argv)
                  cfg});
         }
         for (u32 i = 0; i < 4; ++i) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.approxDegree = degrees[i];
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox([&](ApproximatorConfig &a) {
+                a.approxDegree = degrees[i];
+            });
             points.push_back(
                 {"approx-" + std::to_string(degrees[i]), name,
                  cfg});
@@ -55,8 +60,6 @@ main(int argc, char **argv)
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig8_degree_fetches", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -26,19 +26,21 @@ main(int argc, char **argv)
     Table table({"benchmark", "approx-0", "approx-2", "approx-4",
                  "approx-8", "approx-16"});
 
+    const SweepOptions opts =
+        sweepOptionsFromCli("fig9_degree_error", argc, argv);
+
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 d : degrees) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.approxDegree = d;
+            ApproxMemory::Config cfg = machineBaseLva(opts);
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.approxDegree = d; });
             points.push_back(
                 {"degree-" + std::to_string(d), name, cfg});
         }
     }
 
     SweepRunner runner(eval);
-    const SweepOptions opts =
-        sweepOptionsFromCli("fig9_degree_error", argc, argv);
     const SweepOutcome outcome = runner.runChecked(points, opts);
     const std::vector<EvalResult> &results = outcome.results;
 

@@ -65,13 +65,18 @@ main(int argc, char **argv)
 
     BenchTimer timer("fsdiag");
     // fsdiag has its own CLI (--stats, workload names), so the
-    // robustness knobs arrive via the environment only.
+    // robustness knobs — and the machine, via LVA_MACHINE — arrive
+    // through the environment only.
     SweepOptions opts;
     opts.driver = "fsdiag";
+    opts = resolveSweepOptions(opts);
     SweepRunner runner;
     const auto outcome = runner.mapChecked(
         names.size(),
-        [&](u64 i) { return runFullSystemSweep(names[i], {0, 16}); },
+        [&](u64 i) {
+            return runFullSystemSweep(names[i], {0, 16}, 1, 0.0,
+                                      opts.machine.get());
+        },
         opts, [&names](u64 i) { return names[i]; });
 
     std::vector<FsSweep> sweeps;

@@ -39,13 +39,15 @@ main(int argc, char **argv)
     const auto &names = allWorkloadNames();
     const SweepOptions opts =
         sweepOptionsFromCli("table1_mpki", argc, argv);
+    const ApproxMemory::Config base = machineBaseLva(opts);
+    const ApproxMemory::Config precise =
+        Evaluator::preciseBaseFor(base);
     SweepRunner runner(eval);
     const auto outcome = runner.mapChecked(
         names.size(),
         [&](u64 i) {
-            return Point{eval.evaluatePrecise(names[i]),
-                         eval.evaluate(names[i],
-                                       Evaluator::baselineLva())};
+            return Point{eval.evaluatePrecise(names[i], precise),
+                         eval.evaluate(names[i], base)};
         },
         opts, [&names](u64 i) { return names[i]; });
 

@@ -9,6 +9,10 @@
 #                                               "lva-hot-path: begin"
 #   5. docs/serving.md     serve-stats markers <-> the serve.* subtree
 #                                               of the catalog dump
+#   6. docs/topology.md    machine-schema markers <-> the parser's own
+#                                               key list (the catalog
+#                                               binary's
+#                                               --machine-schema dump)
 #
 # Every documented entry must exist in the code and every code entry
 # must be documented; either direction failing fails the script.
@@ -108,5 +112,15 @@ check hotpath docs/performance.md \
 doc_entries docs/serving.md serve-stats > "$workdir/serve.doc"
 check serve-stats docs/serving.md \
       "$workdir/serve.code" "$workdir/serve.doc" "serving stat paths"
+
+# 6. Machine schema: every lva-machine-v1 key the parser accepts
+#    (machineSchemaKeys(), dumped by --machine-schema) vs the key
+#    table in docs/topology.md — a config key without a documented
+#    row, or a documented row for a key the parser dropped, fails.
+"$CATALOG_BIN" --machine-schema | LC_ALL=C sort -u \
+    > "$workdir/machine.code"
+doc_entries docs/topology.md machine-schema > "$workdir/machine.doc"
+check machine-schema docs/topology.md \
+      "$workdir/machine.code" "$workdir/machine.doc" "machine keys"
 
 exit "$status"

@@ -11,6 +11,12 @@
 #   4. cmp(1) both served exports against the driver's file,
 #   5. SIGTERM the daemon and require a drained exit 0.
 #
+# Then the topology legs (docs/topology.md): ONE daemon serves the
+# same sweep on both examples/machine-*.json topologies, each
+# byte-compared against its direct `driver --machine` run — two
+# machines, one binary, no rebuild — and the two exports must differ
+# (a silently-ignored config would make them identical).
+#
 # Then for fleet sizes {1, 3} (the scale-out byte-identity recipe,
 # docs/serving.md):
 #   6. start lva_fleet with a 2-entry golden cache per worker (the
@@ -126,6 +132,63 @@ for jobs in 1 4; do
     fi
     echo "serve_smoke: LVA_JOBS=$jobs — SIGTERM drained, exit 0"
 done
+
+# ---- topology legs: the same binaries replay two lva-machine-v1
+# config files with no rebuild (docs/topology.md); ONE daemon serves
+# both machines, each byte-identical to its direct driver run -------
+log="$work/machines.log"
+LVA_JOBS=2 "$SERVED" --port 0 --workers 2 > "$log" 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(grep -oE '127\.0\.0\.1:[0-9]+' "$log" 2>/dev/null \
+            | head -1 | cut -d: -f2 || true)"
+    [[ -n "$port" ]] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "serve_smoke: daemon died at startup:" >&2
+        sed 's/^/  /' "$log" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+if [[ -z "$port" ]]; then
+    echo "serve_smoke: daemon never announced its port" >&2
+    exit 1
+fi
+
+for machine in examples/machine-2core.json examples/machine-hetero.json
+do
+    tag="$(basename "$machine" .json)"
+    echo "serve_smoke: machine=$tag — direct vs served (port $port)"
+    LVA_JOBS=2 LVA_RESULTS_DIR="$work/m-$tag" \
+        "$DRIVER" --machine "$machine" > /dev/null
+    "$CLIENT" --port "$port" sweep --driver fig5_ghb_error \
+        --points "$points" --machine "$machine" \
+        --out "$work/m-$tag.served.json" 2> /dev/null
+    cmp "$work/m-$tag/stats/fig5_ghb_error.json" \
+        "$work/m-$tag.served.json"
+    echo "serve_smoke: machine=$tag — served export byte-identical"
+done
+
+# The two topologies must actually be different machines: identical
+# exports would mean the config file silently did not take effect.
+if cmp -s "$work/m-machine-2core/stats/fig5_ghb_error.json" \
+          "$work/m-machine-hetero/stats/fig5_ghb_error.json"; then
+    echo "serve_smoke: both machine configs exported identical" \
+         "bytes — --machine did not take effect" >&2
+    exit 1
+fi
+echo "serve_smoke: machine legs — two topologies, one daemon, no rebuild"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+if [[ "$rc" -ne 0 ]]; then
+    echo "serve_smoke: daemon exited $rc on SIGTERM (want 0):" >&2
+    sed 's/^/  /' "$log" >&2
+    exit 1
+fi
 
 # ---- fleet legs: byte-identity across fleet sizes, a squeezed golden
 # cache, and an injected worker kill --------------------------------

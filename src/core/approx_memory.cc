@@ -64,21 +64,27 @@ ApproxMemory::ApproxMemory(const Config &config)
     : MemoryBackend(BackendKind::Approx), config_(config)
 {
     lva_assert(config.threads > 0, "need at least one thread");
+    lva_assert(config.threadApprox.empty() ||
+                   config.threadApprox.size() == config.threads,
+               "threadApprox must carry one entry per thread");
     lanes_.resize(config.threads);
     for (u32 t = 0; t < config.threads; ++t) {
         Lane &lane = lanes_[t];
         const std::string tp = "thread" + std::to_string(t);
+        const ApproximatorConfig &variant =
+            config.threadApprox.empty() ? config.approx
+                                        : config.threadApprox[t];
         lane.cache = std::make_unique<Cache>(config.cache, registry_,
                                              tp + ".l1");
         lane.mem = std::make_unique<LaneCounters>(registry_, tp + ".mem");
         switch (config.mode) {
           case MemMode::Lva:
             lane.lva = std::make_unique<LoadValueApproximator>(
-                config.approx, registry_, tp + ".lva");
+                variant, registry_, tp + ".lva");
             break;
           case MemMode::Lvp:
             lane.lvp = std::make_unique<IdealizedLvp>(
-                config.approx, registry_, tp + ".lvp");
+                variant, registry_, tp + ".lvp");
             break;
           case MemMode::Prefetch:
             lane.prefetcher = std::make_unique<GhbPrefetcher>(

@@ -114,6 +114,31 @@ class ApproxMemory : public MemoryBackend
         MemMode mode = MemMode::Lva;
         ApproximatorConfig approx{};
         GhbPrefetcherConfig prefetch{};
+
+        /**
+         * Per-thread approximator variants (from a heterogeneous
+         * MachineConfig): empty means homogeneous — every lane uses
+         * approx; otherwise exactly one entry per thread.
+         */
+        std::vector<ApproximatorConfig> threadApprox;
+
+        /**
+         * Apply @p fn to approx AND every per-thread variant. Sweep
+         * drivers edit their swept knob through this so the edit
+         * lands on heterogeneous machines too — when threadApprox is
+         * populated every lane is built from it, and a bare
+         * approx.<field> write would be silently ignored. The RPC
+         * "config" decoder and lva_explore apply the same
+         * all-lanes semantics.
+         */
+        template <typename Fn>
+        void
+        editApprox(Fn &&fn)
+        {
+            fn(approx);
+            for (ApproximatorConfig &variant : threadApprox)
+                fn(variant);
+        }
     };
 
     explicit ApproxMemory(const Config &config);

@@ -102,6 +102,42 @@ Evaluator::preciseConfig()
     return cfg;
 }
 
+ApproxMemory::Config
+Evaluator::preciseBaseFor(const ApproxMemory::Config &cfg)
+{
+    ApproxMemory::Config precise = preciseConfig();
+    precise.threads = cfg.threads;
+    precise.cache = cfg.cache;
+    return precise;
+}
+
+namespace {
+
+/**
+ * Golden-cache key for one workload under one precise config: the
+ * plain workload name for the canonical preciseConfig() geometry (so
+ * every pre-machine key — and every test that asserts on it — stays
+ * unchanged), a "@t<threads>.s<size>.a<assoc>.b<block>" variant suffix
+ * for any other machine geometry.
+ */
+std::string
+goldenKeyName(const std::string &name, const ApproxMemory::Config &precise)
+{
+    static const ApproxMemory::Config canonical =
+        Evaluator::preciseConfig();
+    if (precise.threads == canonical.threads &&
+        precise.cache.sizeBytes == canonical.cache.sizeBytes &&
+        precise.cache.assoc == canonical.cache.assoc &&
+        precise.cache.blockBytes == canonical.cache.blockBytes)
+        return name;
+    return name + "@t" + std::to_string(precise.threads) + ".s" +
+           std::to_string(precise.cache.sizeBytes) + ".a" +
+           std::to_string(precise.cache.assoc) + ".b" +
+           std::to_string(precise.cache.blockBytes);
+}
+
+} // namespace
+
 std::size_t
 goldenEvictionVictim(const std::vector<GoldenEvictionCandidate> &candidates)
 {
@@ -191,9 +227,9 @@ Evaluator::goldenResidentKeys()
 
 std::shared_ptr<const Evaluator::Golden>
 Evaluator::golden(const std::string &name, WorkloadFactory factory,
-                  u64 seed)
+                  u64 seed, const ApproxMemory::Config &precise)
 {
-    const auto key = std::make_pair(name, seed);
+    const auto key = std::make_pair(goldenKeyName(name, precise), seed);
     std::shared_ptr<GoldenSlot> slot;
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -237,10 +273,11 @@ Evaluator::golden(const std::string &name, WorkloadFactory factory,
         WorkloadParams params;
         params.seed = seed;
         params.scale = scale_;
+        params.threads = precise.threads;
 
         g.workload = factory(params);
         g.workload->generate();
-        ApproxMemory mem(preciseConfig());
+        ApproxMemory mem(precise);
         g.workload->run(mem);
         g.metrics = mem.metrics();
         g.stats = mem.snapshot();
@@ -279,15 +316,17 @@ Evaluator::evaluate(const std::string &name,
     // Loop invariants: resolve the name->factory mapping and build
     // the params template once, not once per seed.
     const WorkloadFactory factory = findWorkloadFactory(name);
+    const ApproxMemory::Config precise = preciseBaseFor(cfg);
     WorkloadParams params;
     params.scale = scale_;
+    params.threads = cfg.threads;
 
     for (u32 s = 0; s < seeds_; ++s) {
         const u64 seed = 1 + s;
         // Holding the shared_ptr keeps this golden valid for the
         // whole seed body even if the cache evicts it concurrently.
         const std::shared_ptr<const Golden> base =
-            golden(name, factory, seed);
+            golden(name, factory, seed, precise);
 
         params.seed = seed;
 
@@ -345,14 +384,22 @@ Evaluator::evaluate(const std::string &name,
 EvalResult
 Evaluator::evaluatePrecise(const std::string &name)
 {
+    return evaluatePrecise(name, preciseConfig());
+}
+
+EvalResult
+Evaluator::evaluatePrecise(const std::string &name,
+                           const ApproxMemory::Config &precise)
+{
     EvalResult avg;
     double sum_mpki = 0.0;
     double sum_instr = 0.0;
     double sum_fetches = 0.0;
     const WorkloadFactory factory = findWorkloadFactory(name);
+    const ApproxMemory::Config base_cfg = preciseBaseFor(precise);
     for (u32 s = 0; s < seeds_; ++s) {
         const std::shared_ptr<const Golden> base =
-            golden(name, factory, 1 + s);
+            golden(name, factory, 1 + s, base_cfg);
         sum_mpki += base->metrics.mpki();
         sum_instr += static_cast<double>(base->metrics.instructions);
         sum_fetches += static_cast<double>(base->metrics.fetches);

@@ -159,11 +159,24 @@ class Evaluator
     /** Baseline (precise) metrics for one workload (Table I). */
     EvalResult evaluatePrecise(const std::string &workload);
 
+    /** evaluatePrecise under an explicit precise (machine) config. */
+    EvalResult evaluatePrecise(const std::string &workload,
+                               const ApproxMemory::Config &precise);
+
     /** The paper's baseline LVA configuration as an ApproxMemory config. */
     static ApproxMemory::Config baselineLva();
 
     /** A precise (no-mechanism) configuration. */
     static ApproxMemory::Config preciseConfig();
+
+    /**
+     * The precise baseline any result under @p cfg is normalized
+     * against: preciseConfig() with the thread count and L1 geometry
+     * of @p cfg (the mechanism never changes the machine a golden
+     * runs on, only what sits beside the L1).
+     */
+    static ApproxMemory::Config
+    preciseBaseFor(const ApproxMemory::Config &cfg);
 
     /**
      * Bound the golden cache to @p entries resident goldens (0 =
@@ -204,8 +217,16 @@ class Evaluator
         u64 cost = 0;    ///< precise-run dynamic instructions
     };
 
+    /**
+     * Acquire the memoized precise run of (@p workload, @p seed) under
+     * the machine geometry of @p precise. The cache key is the plain
+     * workload name for the canonical preciseConfig() geometry (every
+     * pre-machine caller) and a "name@t<threads>.s<size>..." variant
+     * key otherwise, so goldens of different machines never alias.
+     */
     std::shared_ptr<const Golden> golden(const std::string &workload,
-                                         WorkloadFactory factory, u64 seed);
+                                         WorkloadFactory factory, u64 seed,
+                                         const ApproxMemory::Config &precise);
 
     /** Evict until size <= capacity; call with mutex_ held. */
     void enforceCapacityLocked();

@@ -1,6 +1,7 @@
 #include "eval/fullsystem_eval.hh"
 
 #include "cpu/trace.hh"
+#include "sim/machine_config.hh"
 #include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "workloads/workload.hh"
@@ -16,11 +17,13 @@ fsScaleFromEnv()
 FsSweep
 runFullSystemSweep(const std::string &workload,
                    const std::vector<u32> &degrees, u64 seed,
-                   double scale)
+                   double scale, const MachineConfig *machine)
 {
     WorkloadParams params;
     params.seed = seed;
     params.scale = scale > 0.0 ? scale : fsScaleFromEnv();
+    if (machine != nullptr)
+        params.threads = machine->cores;
 
     // Record the precise execution once.
     auto w = makeWorkload(workload, params);
@@ -33,11 +36,16 @@ runFullSystemSweep(const std::string &workload,
     sweep.degrees = degrees;
 
     {
-        FullSystemSim sim(FullSystemConfig::baseline());
+        FullSystemSim sim(machine != nullptr
+                              ? machine->fullSystem(/*lvaEnabled=*/false)
+                              : FullSystemConfig::baseline());
         sweep.baseline = sim.run(recorder.traces());
     }
     for (u32 d : degrees) {
-        FullSystemSim sim(FullSystemConfig::lva(d));
+        FullSystemSim sim(machine != nullptr
+                              ? machine->fullSystem(/*lvaEnabled=*/true,
+                                                    d)
+                              : FullSystemConfig::lva(d));
         sweep.lva.push_back(sim.run(recorder.traces()));
     }
     return sweep;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/machine_config.hh"
 #include "util/checkpoint.hh"
 #include "util/env_knob.hh"
 #include "util/fault.hh"
@@ -41,15 +42,6 @@ u32Field(const std::string &key, const JsonValue &value)
     return static_cast<u32>(v);
 }
 
-bool
-boolField(const std::string &key, const JsonValue &value)
-{
-    if (value.type != JsonValue::Type::Bool)
-        throw std::runtime_error("config: \"" + key +
-                                 "\" must be true or false");
-    return value.boolean;
-}
-
 MemMode
 modeFromName(const std::string &name)
 {
@@ -64,17 +56,20 @@ modeFromName(const std::string &name)
     throw std::runtime_error("config: unknown mode \"" + name + "\"");
 }
 
-Estimator
-estimatorFromName(const std::string &name)
+/**
+ * Apply one approximator key to the config's global approx AND every
+ * per-thread variant, so a request override like "ghb" stays coherent
+ * on a heterogeneous machine; false when @p key is not an approx key.
+ */
+bool
+applyApproxKeyAll(ApproxMemory::Config &out, const std::string &key,
+                  const JsonValue &value)
 {
-    if (name == "average")
-        return Estimator::Average;
-    if (name == "last")
-        return Estimator::Last;
-    if (name == "stride")
-        return Estimator::Stride;
-    throw std::runtime_error("config: unknown estimator \"" + name +
-                             "\"");
+    if (!applyApproxKey(out.approx, key, value))
+        return false;
+    for (ApproximatorConfig &variant : out.threadApprox)
+        applyApproxKey(variant, key, value);
+    return true;
 }
 
 } // namespace
@@ -305,22 +300,31 @@ ServeStats::snapshot() const
 ApproxMemory::Config
 configFromJson(const JsonValue &cfg)
 {
+    return configFromJson(cfg, Evaluator::baselineLva());
+}
+
+ApproxMemory::Config
+configFromJson(const JsonValue &cfg, const ApproxMemory::Config &base)
+{
     if (!cfg.isObject())
         throw std::runtime_error("config must be a JSON object");
 
     // "base" picks the starting configuration regardless of where it
     // appears in the object, so {"ghb":2,"base":"precise"} does not
     // silently drop the ghb override.
-    ApproxMemory::Config out = Evaluator::baselineLva();
-    if (const JsonValue *base = cfg.find("base")) {
-        const std::string &b = base->asString();
-        if (b == "precise")
-            out = Evaluator::preciseConfig();
-        else if (b != "baseline")
-            throw std::runtime_error("config: unknown base \"" + b +
+    ApproxMemory::Config out = base;
+    if (const JsonValue *b = cfg.find("base")) {
+        const std::string &name = b->asString();
+        if (name == "precise")
+            out = Evaluator::preciseBaseFor(base);
+        else if (name != "baseline")
+            throw std::runtime_error("config: unknown base \"" + name +
                                      "\"");
     }
 
+    // Approximator keys are decoded by the same applyApproxKey the
+    // lva-machine-v1 parser uses, so the RPC "config" object and the
+    // machine file's "approx" object speak identical key names.
     for (const auto &[key, value] : cfg.members) {
         if (key == "base") {
             // handled above
@@ -328,44 +332,10 @@ configFromJson(const JsonValue &cfg)
             out.mode = modeFromName(value.asString());
         } else if (key == "threads") {
             out.threads = u32Field(key, value);
-        } else if (key == "ghb") {
-            out.approx.ghbEntries = u32Field(key, value);
-        } else if (key == "lhb") {
-            out.approx.lhbEntries = u32Field(key, value);
-        } else if (key == "table") {
-            out.approx.tableEntries = u32Field(key, value);
-        } else if (key == "tableAssoc") {
-            out.approx.tableAssoc = u32Field(key, value);
-        } else if (key == "confidenceBits") {
-            out.approx.confidenceBits = u32Field(key, value);
-        } else if (key == "window") {
-            if (value.type == JsonValue::Type::String) {
-                if (value.asString() != "inf")
-                    throw std::runtime_error(
-                        "config: window must be a number or \"inf\"");
-                out.approx.confidenceWindow =
-                    ApproximatorConfig::infiniteWindow;
-            } else {
-                out.approx.confidenceWindow = value.asDouble();
-            }
-        } else if (key == "confInts") {
-            out.approx.confidenceForInts = boolField(key, value);
-        } else if (key == "noConf") {
-            out.approx.confidenceDisabled = boolField(key, value);
-        } else if (key == "proportional") {
-            out.approx.proportionalConfidence = boolField(key, value);
-        } else if (key == "degree") {
-            out.approx.approxDegree = u32Field(key, value);
-        } else if (key == "delay") {
-            out.approx.valueDelay = u32Field(key, value);
-        } else if (key == "tagBits") {
-            out.approx.tagBits = u32Field(key, value);
-        } else if (key == "mantissaDrop") {
-            out.approx.mantissaDropBits = u32Field(key, value);
-        } else if (key == "estimator") {
-            out.approx.estimator = estimatorFromName(value.asString());
         } else if (key == "prefetchDegree") {
             out.prefetch.degree = u32Field(key, value);
+        } else if (applyApproxKeyAll(out, key, value)) {
+            // one approximator knob, applied to every variant
         } else {
             throw std::runtime_error("config: unknown key \"" + key +
                                      "\"");
@@ -376,6 +346,13 @@ configFromJson(const JsonValue &cfg)
 
 std::vector<SweepPoint>
 sweepPointsFromJson(const JsonValue &points)
+{
+    return sweepPointsFromJson(points, Evaluator::baselineLva());
+}
+
+std::vector<SweepPoint>
+sweepPointsFromJson(const JsonValue &points,
+                    const ApproxMemory::Config &base)
 {
     if (!points.isArray())
         throw std::runtime_error("points must be a JSON array");
@@ -395,9 +372,9 @@ sweepPointsFromJson(const JsonValue &points)
         SweepPoint sp;
         sp.label = p.at("label").asString();
         sp.workload = p.at("workload").asString();
-        sp.config = Evaluator::baselineLva();
+        sp.config = base;
         if (const JsonValue *cfg = p.find("config"))
-            sp.config = configFromJson(*cfg);
+            sp.config = configFromJson(*cfg, base);
         out.push_back(std::move(sp));
     }
     return out;
@@ -508,13 +485,32 @@ EvalService::handleShutdown()
     return okPrefix("shutdown") + ",\"draining\":true}";
 }
 
+namespace {
+
+/**
+ * Decode a request's optional "machine" member (an inline
+ * lva-machine-v1 object, docs/topology.md) into the phase-1 base
+ * config every point starts from; absent = the built-in Table II
+ * machine, whose base is exactly Evaluator::baselineLva().
+ */
+ApproxMemory::Config
+machineBaseFromRequest(const JsonValue &req)
+{
+    if (const JsonValue *m = req.find("machine"))
+        return machineFromJson(*m).phase1Lva();
+    return Evaluator::baselineLva();
+}
+
+} // namespace
+
 std::string
 EvalService::handleEval(const JsonValue &req)
 {
     const std::string workload = req.at("workload").asString();
-    ApproxMemory::Config cfg = Evaluator::baselineLva();
+    const ApproxMemory::Config base = machineBaseFromRequest(req);
+    ApproxMemory::Config cfg = base;
     if (const JsonValue *c = req.find("config"))
-        cfg = configFromJson(*c);
+        cfg = configFromJson(*c, base);
 
     const EvalResult r = eval_.evaluate(workload, cfg);
     return okPrefix("eval") +
@@ -535,8 +531,8 @@ EvalService::handleSweep(const JsonValue &req)
     const std::string driver = req.at("driver").asString();
     if (driver.empty())
         throw std::runtime_error("sweep: driver must be non-empty");
-    const std::vector<SweepPoint> points =
-        sweepPointsFromJson(req.at("points"));
+    const std::vector<SweepPoint> points = sweepPointsFromJson(
+        req.at("points"), machineBaseFromRequest(req));
     if (points.empty())
         throw std::runtime_error("sweep: no points");
 

@@ -178,8 +178,22 @@ class ServeStats
  */
 ApproxMemory::Config configFromJson(const JsonValue &cfg);
 
+/**
+ * As above against an explicit base configuration (a machine's
+ * phase-1 projection): "base":"baseline" (default) starts from
+ * @p base, "base":"precise" from its precise counterpart, and an
+ * approximator override applies to every per-thread variant too.
+ */
+ApproxMemory::Config configFromJson(const JsonValue &cfg,
+                                    const ApproxMemory::Config &base);
+
 /** Decode a request "points" array into sweep points. */
 std::vector<SweepPoint> sweepPointsFromJson(const JsonValue &points);
+
+/** As above with every point starting from @p base. */
+std::vector<SweepPoint>
+sweepPointsFromJson(const JsonValue &points,
+                    const ApproxMemory::Config &base);
 
 /**
  * Request -> response, no sockets involved.

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "eval/stat_report.hh"
+#include "sim/machine_config.hh"
 #include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/results_dir.hh"
@@ -28,6 +29,18 @@ envFlag(const char *name)
 {
     const char *v = std::getenv(name);
     return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/** Load one machine-config file; exits(2) with the parse error. */
+std::shared_ptr<const MachineConfig>
+loadMachineOrDie(const std::string &path)
+{
+    try {
+        return std::make_shared<MachineConfig>(machineFromFile(path));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 /** Strict decimal CLI-operand parse; exits(2) on junk. */
@@ -130,6 +143,13 @@ resolveSweepOptions(SweepOptions opts)
     if (opts.timeoutMs == 0)
         opts.timeoutMs =
             envKnobU64("LVA_POINT_TIMEOUT_MS", 0, 0, 86400000);
+    if (!opts.machine) {
+        // String-valued config path; validated by the parser it feeds.
+        // lva-audit: allow(knob-unvalidated)
+        const char *path = std::getenv("LVA_MACHINE");
+        if (path != nullptr && *path != '\0')
+            opts.machine = loadMachineOrDie(path);
+    }
     return opts;
 }
 
@@ -157,10 +177,13 @@ sweepOptionsFromCli(const std::string &driver, int argc, char **argv)
                 static_cast<u32>(cliU64(arg, operand()) + 1);
         } else if (arg == "--timeout-ms") {
             opts.timeoutMs = cliU64(arg, operand());
+        } else if (arg == "--machine") {
+            opts.machine = loadMachineOrDie(operand());
         } else {
             std::fprintf(stderr,
                          "usage: %s [--checkpoint] [--resume] "
-                         "[--retries N] [--timeout-ms N]\n"
+                         "[--retries N] [--timeout-ms N] "
+                         "[--machine FILE]\n"
                          "  --checkpoint   record completed points in "
                          "a resumable manifest\n"
                          "  --resume       skip points already in the "
@@ -168,12 +191,32 @@ sweepOptionsFromCli(const std::string &driver, int argc, char **argv)
                          "  --retries N    re-attempt a failed point "
                          "up to N times\n"
                          "  --timeout-ms N abandon a point not done "
-                         "within N ms (needs LVA_JOBS >= 2)\n",
+                         "within N ms (needs LVA_JOBS >= 2)\n"
+                         "  --machine FILE run on the lva-machine-v1 "
+                         "topology in FILE (docs/topology.md; also "
+                         "LVA_MACHINE)\n",
                          driver.c_str());
             std::exit(2);
         }
     }
     return resolveSweepOptions(opts);
+}
+
+const MachineConfig &
+sweepMachine(const SweepOptions &opts)
+{
+    return opts.machine ? *opts.machine : defaultMachine();
+}
+
+ApproxMemory::Config
+machineBaseLva(const SweepOptions &opts)
+{
+    // Without a machine this must stay the exact historical object so
+    // converted drivers keep byte-identical checkpoints and exports
+    // (defaultMachine().phase1Lva() is equal, but equality is a test
+    // pin while this identity is by construction).
+    return opts.machine ? opts.machine->phase1Lva()
+                        : Evaluator::baselineLva();
 }
 
 int
@@ -215,21 +258,36 @@ configKey(const ApproxMemory::Config &cfg)
     auto b = [](bool v) { return std::string(v ? "1" : "0"); };
     const ApproximatorConfig &a = cfg.approx;
     const GhbPrefetcherConfig &p = cfg.prefetch;
+    auto approx = [&](const ApproximatorConfig &a) {
+        return n(a.tableEntries) + "," + n(a.tableAssoc) + "," +
+               n(a.confidenceBits) + "," +
+               jsonDouble(a.confidenceWindow) + "," +
+               b(a.confidenceForInts) + "," + b(a.confidenceDisabled) +
+               "," + n(a.ghbEntries) + "," + n(a.lhbEntries) + "," +
+               n(a.tagBits) + "," + n(a.valueDelay) + "," +
+               n(a.approxDegree) + "," + estimatorName(a.estimator) +
+               "," + b(a.proportionalConfidence) + "," +
+               n(a.mantissaDropBits);
+    };
     std::string k;
     k += "threads=" + n(cfg.threads);
     k += ";cache=" + n(cfg.cache.sizeBytes) + "/" + n(cfg.cache.assoc) +
          "/" + n(cfg.cache.blockBytes);
     k += ";mode=" + std::string(memModeName(cfg.mode));
-    k += ";approx=" + n(a.tableEntries) + "," + n(a.tableAssoc) + "," +
-         n(a.confidenceBits) + "," + jsonDouble(a.confidenceWindow) +
-         "," + b(a.confidenceForInts) + "," + b(a.confidenceDisabled) +
-         "," + n(a.ghbEntries) + "," + n(a.lhbEntries) + "," +
-         n(a.tagBits) + "," + n(a.valueDelay) + "," +
-         n(a.approxDegree) + "," + estimatorName(a.estimator) + "," +
-         b(a.proportionalConfidence) + "," + n(a.mantissaDropBits);
+    k += ";approx=" + approx(a);
     k += ";prefetch=" + n(p.ghbEntries) + "," + n(p.indexEntries) +
          "," + n(p.degree) + "," + n(p.blockBytes) + "," +
          n(p.maxChainWalk);
+    // Appended only when present so every homogeneous (pre-machine)
+    // config keeps its historical key and manifest digest.
+    if (!cfg.threadApprox.empty()) {
+        k += ";threadApprox=";
+        for (std::size_t i = 0; i < cfg.threadApprox.size(); ++i) {
+            if (i > 0)
+                k += "|";
+            k += approx(cfg.threadApprox[i]);
+        }
+    }
     return k;
 }
 
@@ -251,6 +309,16 @@ sweepContextKey(const Evaluator &eval)
     return std::string(manifestSchema()) + ";stats=" +
            statsJsonSchema() + ";seeds=" + std::to_string(eval.seeds()) +
            ";scale=" + jsonDouble(eval.scale());
+}
+
+std::string
+sweepContextKey(const Evaluator &eval, const SweepOptions &opts)
+{
+    std::string key = sweepContextKey(eval);
+    if (opts.machine)
+        key += ";machine=" +
+               hexU64(fnv1a64(renderMachineJson(*opts.machine)));
+    return key;
 }
 
 const std::vector<EvalMetricDef> &
@@ -360,7 +428,7 @@ SweepRunner::runChecked(const std::vector<SweepPoint> &points,
         if (p.has_parent_path())
             std::filesystem::create_directories(p.parent_path());
         ctx->manifest = std::make_shared<CheckpointManifest>(
-            path, eff.driver, sweepContextKey(*eval_), eff.resume);
+            path, eff.driver, sweepContextKey(*eval_, eff), eff.resume);
     }
 
     SweepOutcome out;

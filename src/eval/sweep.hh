@@ -42,6 +42,8 @@
 
 namespace lva {
 
+struct MachineConfig;
+
 /** One named (workload, configuration) evaluation request. */
 struct SweepPoint
 {
@@ -98,6 +100,15 @@ struct SweepOptions
      * dependent, so leave it off when byte-identical reruns matter.
      */
     u64 timeoutMs = 0;
+
+    /**
+     * Machine topology the sweep runs on (--machine <file>, else the
+     * LVA_MACHINE path knob); null = the built-in Table II machine,
+     * which is byte-identity-pinned against the historical hardcoded
+     * defaults. Shared, immutable: copying SweepOptions never copies
+     * the parsed config.
+     */
+    std::shared_ptr<const MachineConfig> machine;
 };
 
 /** Everything a checked sweep produced. */
@@ -138,12 +149,22 @@ SweepOptions resolveSweepOptions(SweepOptions opts);
 
 /**
  * The standard robustness CLI shared by every sweep-driving bench
- * binary: --checkpoint, --resume, --retries N, --timeout-ms N (plus
- * the environment knobs, which explicit flags override). Unknown
- * arguments exit(2) with a usage message.
+ * binary: --checkpoint, --resume, --retries N, --timeout-ms N,
+ * --machine FILE (plus the environment knobs, which explicit flags
+ * override). Unknown arguments exit(2) with a usage message.
  */
 SweepOptions sweepOptionsFromCli(const std::string &driver, int argc,
                                  char **argv);
+
+/** The machine a sweep runs on: *opts.machine or defaultMachine(). */
+const MachineConfig &sweepMachine(const SweepOptions &opts);
+
+/**
+ * The baseline-LVA phase-1 config of the sweep's machine. With no
+ * --machine/LVA_MACHINE this is exactly Evaluator::baselineLva(), so
+ * drivers converted to it stay byte-identical by construction.
+ */
+ApproxMemory::Config machineBaseLva(const SweepOptions &opts);
 
 /**
  * Print one warning line per failure and return the driver exit
@@ -176,6 +197,16 @@ std::string sweepPointDigest(const SweepPoint &point);
  * manifest written under different settings is never resumed.
  */
 std::string sweepContextKey(const Evaluator &eval);
+
+/**
+ * As above, additionally binding the manifest to the sweep's machine
+ * topology (digest of its canonical JSON) when one is set, so a
+ * manifest written under one machine is never resumed under another.
+ * With no machine set the key is byte-identical to the historical
+ * sweepContextKey(eval), keeping pre-machine manifests resumable.
+ */
+std::string sweepContextKey(const Evaluator &eval,
+                            const SweepOptions &opts);
 
 /** Catalog of the sweep-runtime gauges folded into every completed
  *  point's snapshot ("eval.retries.*", "eval.failures.*"). */

@@ -13,6 +13,8 @@
 #ifndef LVA_SIM_CONFIG_HH
 #define LVA_SIM_CONFIG_HH
 
+#include <vector>
+
 #include "core/approximator_config.hh"
 #include "cpu/ooo_core.hh"
 #include "energy/energy_model.hh"
@@ -48,6 +50,13 @@ struct FullSystemConfig
     /** Approximation: enabled when lvaEnabled, using approx. */
     bool lvaEnabled = false;
     ApproximatorConfig approx{};
+
+    /**
+     * Per-core approximator variants (from MachineConfig::coreApprox):
+     * empty means homogeneous — every core uses approx; otherwise
+     * exactly one entry per core.
+     */
+    std::vector<ApproximatorConfig> coreApprox;
 
     /**
      * Extra latency added to background (training / write-allocate)

@@ -9,7 +9,7 @@ namespace lva {
 /** Per-core replay context; stats live under "core<N>.*". */
 struct FullSystemSim::CoreCtx
 {
-    CoreCtx(const FullSystemConfig &config, StatRegistry &reg,
+    CoreCtx(const FullSystemConfig &config, u32 index, StatRegistry &reg,
             const std::string &prefix)
         : core(config.core), l1(config.l1, reg, prefix + ".l1"),
           demandMisses(reg.counter(prefix + ".demandMisses",
@@ -25,9 +25,13 @@ struct FullSystemSim::CoreCtx
               prefix + ".missLatency", 0.0, 400.0, 20,
               "effective L1 miss latency seen by the core", "cycles"))
     {
-        if (config.lvaEnabled)
+        if (config.lvaEnabled) {
+            const ApproximatorConfig &variant =
+                config.coreApprox.empty() ? config.approx
+                                          : config.coreApprox.at(index);
             lva = std::make_unique<LoadValueApproximator>(
-                config.approx, reg, prefix + ".lva");
+                variant, reg, prefix + ".lva");
+        }
     }
 
     OoOCore core;
@@ -115,9 +119,12 @@ FullSystemSim::FullSystemSim(const FullSystemConfig &config)
                "one core per mesh node expected");
     lva_assert(config.l2Banks == config.mesh.nodes(),
                "one L2 bank per mesh node expected");
+    lva_assert(config.coreApprox.empty() ||
+                   config.coreApprox.size() == config.cores,
+               "coreApprox must carry one entry per core");
     for (u32 c = 0; c < config.cores; ++c)
         cores_.push_back(std::make_unique<CoreCtx>(
-            config, registry_, "core" + std::to_string(c)));
+            config, c, registry_, "core" + std::to_string(c)));
     // Distributed L2: one physically separate bank per mesh node,
     // each caching its address-interleaved slice.
     CacheConfig bank_cfg = config.l2;

@@ -27,6 +27,7 @@
 
 #include "eval/fullsystem_eval.hh"
 #include "eval/sweep.hh"
+#include "sim/machine_config.hh"
 #include "util/checkpoint.hh"
 
 namespace lva {
@@ -47,16 +48,19 @@ maybePrintGolden(const char *what, const std::string &digest)
         std::printf("GOLDEN %s = %s\n", what, digest.c_str());
 }
 
-/** The exact fig5_ghb_error sweep grid (bench/fig5_ghb_error.cc). */
+/** The exact fig5_ghb_error sweep grid (bench/fig5_ghb_error.cc),
+ *  built from @p base — Evaluator::baselineLva() or a machine's
+ *  phase-1 projection. */
 std::vector<SweepPoint>
-fig5Points()
+fig5Points(const ApproxMemory::Config &base)
 {
     const u32 ghb_sizes[] = {0, 1, 2, 4};
     std::vector<SweepPoint> points;
     for (const auto &name : allWorkloadNames()) {
         for (u32 ghb : ghb_sizes) {
-            ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.ghbEntries = ghb;
+            ApproxMemory::Config cfg = base;
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.ghbEntries = ghb; });
             points.push_back({"ghb-" + std::to_string(ghb), name, cfg});
         }
     }
@@ -64,11 +68,13 @@ fig5Points()
 }
 
 std::string
-fig5ExportDigest(u32 jobs)
+fig5ExportDigest(u32 jobs,
+                 const ApproxMemory::Config &base =
+                     Evaluator::baselineLva())
 {
     Evaluator eval(kSeeds, kScale);
     SweepRunner runner(eval, jobs);
-    const std::vector<SweepPoint> points = fig5Points();
+    const std::vector<SweepPoint> points = fig5Points(base);
     const std::vector<EvalResult> results = runner.run(points);
     return hexU64(
         fnv1a64(renderSweepStats("fig5_ghb_error", points, results)));
@@ -88,15 +94,17 @@ TEST(RefactorIdentity, Fig5ExportBytesMatchPreRefactorJobs4)
     EXPECT_EQ(digest, kFig5GoldenDigest);
 }
 
-/** The exact fig10_fullsystem grid (bench/fig10_fullsystem.cc). */
+/** The exact fig10_fullsystem grid (bench/fig10_fullsystem.cc).
+ *  @p machine as in runFullSystemSweep: null = built-in Table II. */
 std::string
-fig10ExportDigest(u32 jobs)
+fig10ExportDigest(u32 jobs, const MachineConfig *machine = nullptr)
 {
     const std::vector<u32> degrees = {0, 2, 4, 8, 16};
     const auto &names = allWorkloadNames();
     SweepRunner runner(jobs);
     const auto sweeps = runner.map(names.size(), [&](u64 i) {
-        return runFullSystemSweep(names[i], degrees, /*seed=*/1, kScale);
+        return runFullSystemSweep(names[i], degrees, /*seed=*/1, kScale,
+                                  machine);
     });
     return hexU64(fnv1a64(renderStatsJson(
         "fig10_fullsystem", fsSweepSnapshots(sweeps), {})));
@@ -114,6 +122,44 @@ TEST(RefactorIdentity, Fig10ExportBytesMatchPreRefactorJobs4)
     const std::string digest = fig10ExportDigest(4);
     maybePrintGolden("fig10", digest);
     EXPECT_EQ(digest, kFig10GoldenDigest);
+}
+
+// PR 10: passing the built-in machine *explicitly* — as a parsed
+// config object, the way --machine/LVA_MACHINE do — must reproduce
+// the same pre-config golden bytes as no machine at all, at any job
+// count. This is the file-less/default-file equivalence the topology
+// docs promise.
+
+TEST(RefactorIdentity, Fig5ExplicitDefaultMachineMatchesGoldenSerial)
+{
+    EXPECT_EQ(fig5ExportDigest(1, defaultMachine().phase1Lva()),
+              kFig5GoldenDigest);
+}
+
+TEST(RefactorIdentity, Fig5ExplicitDefaultMachineMatchesGoldenJobs4)
+{
+    EXPECT_EQ(fig5ExportDigest(4, defaultMachine().phase1Lva()),
+              kFig5GoldenDigest);
+}
+
+TEST(RefactorIdentity, Fig5ParsedMinimalMachineMatchesGolden)
+{
+    // A machine that only says "schema" is the Table II machine.
+    const MachineConfig m =
+        machineFromJson(parseJson("{\"schema\":\"lva-machine-v1\"}"));
+    EXPECT_EQ(fig5ExportDigest(1, m.phase1Lva()), kFig5GoldenDigest);
+}
+
+TEST(RefactorIdentity, Fig10ExplicitDefaultMachineMatchesGoldenSerial)
+{
+    EXPECT_EQ(fig10ExportDigest(1, &defaultMachine()),
+              kFig10GoldenDigest);
+}
+
+TEST(RefactorIdentity, Fig10ExplicitDefaultMachineMatchesGoldenJobs4)
+{
+    EXPECT_EQ(fig10ExportDigest(4, &defaultMachine()),
+              kFig10GoldenDigest);
 }
 
 } // namespace

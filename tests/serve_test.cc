@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "eval/service.hh"
+#include "sim/machine_config.hh"
 #include "util/fault.hh"
 #include "util/net.hh"
 
@@ -252,7 +253,8 @@ directExport(u32 jobs)
     for (const char *name : {"swaptions", "blackscholes"}) {
         for (u32 ghb : {0u, 2u}) {
             ApproxMemory::Config cfg = Evaluator::baselineLva();
-            cfg.approx.ghbEntries = ghb;
+            cfg.editApprox(
+                [&](ApproximatorConfig &a) { a.ghbEntries = ghb; });
             points.push_back(
                 {"ghb-" + std::to_string(ghb), name, cfg});
         }
@@ -313,6 +315,40 @@ TEST_P(ServeIdentityTest, ServedSweepMatchesDirectExportBytes)
 
 INSTANTIATE_TEST_SUITE_P(Jobs, ServeIdentityTest,
                          ::testing::Values(1u, 4u));
+
+TEST(ServeMachine, ExplicitDefaultMachineMatchesMachinelessExport)
+{
+    // PR 10: a request embedding the built-in machine as an explicit
+    // "machine" object — exactly what lva_client --machine sends —
+    // must export the same bytes as the machine-less request.
+    EvalService service(kSeeds, kScale, testOptions());
+    const std::string base =
+        std::string("\"op\":\"sweep\",\"driver\":\"serve_test\","
+                    "\"points\":") +
+        kSweepPoints;
+    const JsonValue without = parseResponse(
+        service.handle("{\"schema\":\"lva-rpc-v1\"," + base + "}"));
+    const JsonValue with = parseResponse(
+        service.handle("{\"schema\":\"lva-rpc-v1\"," + base +
+                       ",\"machine\":" +
+                       renderMachineJson(defaultMachine()) + "}"));
+    ASSERT_TRUE(responseOk(without));
+    ASSERT_TRUE(responseOk(with));
+    EXPECT_EQ(with.at("export").asString(),
+              without.at("export").asString());
+}
+
+TEST(ServeMachine, BadMachineObjectIsAnErrorResponseNotAThrow)
+{
+    EvalService service(kSeeds, kScale, testOptions());
+    const JsonValue resp = parseResponse(service.handle(
+        "{\"schema\":\"lva-rpc-v1\",\"op\":\"eval\","
+        "\"workload\":\"swaptions\","
+        "\"machine\":{\"schema\":\"lva-machine-v1\",\"cores\":0}}"));
+    EXPECT_FALSE(responseOk(resp));
+    EXPECT_NE(resp.at("error").asString().find("cores"),
+              std::string::npos);
+}
 
 TEST(ServeLoopTest, BusyBackpressureAtQueueCapacity)
 {

@@ -20,6 +20,8 @@
  *   --points FILE   (sweep) JSON array of sweep points; "-" = stdin
  *   --out FILE      (sweep) write the lva-stats-v1 export here
  *                   instead of stdout
+ *   --machine FILE  (eval/sweep) lva-machine-v1 topology file
+ *                   (docs/topology.md), embedded in the request
  *
  * Busy handling: a `busy` response carries `retryAfterMs`; the client
  * honors it with deterministic (jitter-free) doubling backoff, capped
@@ -43,6 +45,7 @@
 #include <thread>
 
 #include "eval/service.hh"
+#include "sim/machine_config.hh"
 #include "util/env_knob.hh"
 #include "util/logging.hh"
 #include "util/net.hh"
@@ -62,6 +65,7 @@ struct Options
     std::string driver;
     std::string pointsFile;
     std::string outFile;
+    std::string machineFile;
 };
 
 [[noreturn]] void
@@ -71,8 +75,9 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--port N] [--timeout-ms N] OP [op options]\n"
         "  OP: ping | stats | shutdown\n"
-        "      eval --workload NAME [--config JSON]\n"
-        "      sweep --driver NAME --points FILE|- [--out FILE]\n",
+        "      eval --workload NAME [--config JSON] [--machine FILE]\n"
+        "      sweep --driver NAME --points FILE|- [--out FILE]\n"
+        "            [--machine FILE]\n",
         argv0);
     std::exit(2);
 }
@@ -104,6 +109,8 @@ parse(int argc, char **argv)
             opt.pointsFile = need(i);
         } else if (arg == "--out") {
             opt.outFile = need(i);
+        } else if (arg == "--machine") {
+            opt.machineFile = need(i);
         } else if (arg == "ping" || arg == "stats" ||
                    arg == "shutdown" || arg == "eval" ||
                    arg == "sweep") {
@@ -140,6 +147,26 @@ readAll(const std::string &file)
     return out.str();
 }
 
+/**
+ * The "machine" request member for --machine: parsed and validated
+ * locally (fail fast, before any connection), then re-rendered in
+ * canonical form so every client sends byte-identical machine JSON
+ * for the same topology.
+ */
+std::string
+machineMember(const Options &opt)
+{
+    if (opt.machineFile.empty())
+        return "";
+    try {
+        return ",\"machine\":" +
+               renderMachineJson(machineFromFile(opt.machineFile));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lva_client: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
 /** Build the request payload for the parsed command line. */
 std::string
 buildRequest(const Options &opt)
@@ -151,11 +178,13 @@ buildRequest(const Options &opt)
         req += ",\"workload\":" + jsonQuote(opt.workload);
         if (!opt.configJson.empty())
             req += ",\"config\":" + opt.configJson;
+        req += machineMember(opt);
     } else if (opt.op == "sweep") {
         // The points file is spliced in verbatim; the server parses
         // and validates it, so a malformed file is reported with the
         // server's diagnostics rather than duplicated client checks.
         req += ",\"driver\":" + jsonQuote(opt.driver) +
+               machineMember(opt) +
                ",\"points\":" + readAll(opt.pointsFile);
     }
     return req + "}";

@@ -9,6 +9,8 @@
  *   lva_explore --workload canneal --degree 4 --window 0.2
  *   lva_explore --workload ferret --mode lvp --ghb 2
  *   lva_explore --workload all --estimator stride --seeds 3
+ *   lva_explore --machine examples/machine-2core.json \
+ *       --machine examples/machine-hetero.json --degree 4
  *
  * Options (defaults = paper baseline):
  *   --workload NAME|all     benchmark to run          [all]
@@ -27,6 +29,16 @@
  *   --prefetch-degree N     (prefetch mode)           [4]
  *   --seeds N               averaging runs            [5]
  *   --scale F               working-set scale         [1.0]
+ *   --machine FILE          lva-machine-v1 topology file
+ *                           (docs/topology.md; also LVA_MACHINE)
+ *
+ * Topology axis: --machine is repeatable. Each file contributes one
+ * sweep axis labeled "explore@<name>", and the approximator flags are
+ * recorded as edits replayed on top of every machine's phase-1 base —
+ * so `--machine a.json --machine b.json --degree 4` compares the same
+ * configuration across topologies in a single run. Flag overrides
+ * apply to every per-core variant a heterogeneous machine carries
+ * (the same semantics as RPC config overrides, src/eval/service.cc).
  *
  * Robustness (DESIGN.md section 13):
  *   --checkpoint            record completed points in a manifest
@@ -38,11 +50,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/sweep.hh"
+#include "sim/machine_config.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -53,7 +68,9 @@ namespace {
 struct Options
 {
     std::string workload = "all";
-    ApproxMemory::Config cfg = Evaluator::baselineLva();
+    /** Flag handlers, replayed on top of every machine base. */
+    std::vector<std::function<void(ApproxMemory::Config &)>> edits;
+    std::vector<std::string> machineFiles;
     u32 seeds = 0;
     double scale = 0.0;
     SweepOptions sweep;
@@ -70,6 +87,7 @@ usage(const char *argv0)
                  "  [--degree N] [--delay N] [--mantissa-drop N]\n"
                  "  [--estimator average|last|stride]\n"
                  "  [--prefetch-degree N] [--seeds N] [--scale F]\n"
+                 "  [--machine FILE]...\n"
                  "  [--checkpoint] [--resume] [--retries N]\n"
                  "  [--timeout-ms N]\n",
                  argv0);
@@ -85,65 +103,94 @@ parse(int argc, char **argv)
             usage(argv[0]);
         return argv[++i];
     };
+    // Approximator-field edits touch the base approximator and every
+    // per-core variant of a heterogeneous machine, so an explicit
+    // flag overrides all of them (mirrors the RPC semantics).
+    auto approxEdit = [&opt](auto fn) {
+        opt.edits.push_back(
+            [fn](ApproxMemory::Config &cfg) { cfg.editApprox(fn); });
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--workload") {
             opt.workload = need(i);
         } else if (arg == "--mode") {
             const std::string m = need(i);
+            MemMode mode;
             if (m == "lva")
-                opt.cfg.mode = MemMode::Lva;
+                mode = MemMode::Lva;
             else if (m == "lvp")
-                opt.cfg.mode = MemMode::Lvp;
+                mode = MemMode::Lvp;
             else if (m == "prefetch")
-                opt.cfg.mode = MemMode::Prefetch;
+                mode = MemMode::Prefetch;
             else if (m == "precise")
-                opt.cfg.mode = MemMode::Precise;
+                mode = MemMode::Precise;
             else
                 usage(argv[0]);
+            opt.edits.push_back(
+                [mode](ApproxMemory::Config &cfg) { cfg.mode = mode; });
         } else if (arg == "--ghb") {
-            opt.cfg.approx.ghbEntries =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.ghbEntries = v; });
         } else if (arg == "--lhb") {
-            opt.cfg.approx.lhbEntries =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.lhbEntries = v; });
         } else if (arg == "--table") {
-            opt.cfg.approx.tableEntries =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.tableEntries = v; });
         } else if (arg == "--window") {
             const std::string w = need(i);
-            opt.cfg.approx.confidenceWindow =
-                (w == "inf")
-                    ? std::numeric_limits<double>::infinity()
-                    : std::atof(w.c_str());
+            const double v =
+                (w == "inf") ? std::numeric_limits<double>::infinity()
+                             : std::atof(w.c_str());
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.confidenceWindow = v; });
         } else if (arg == "--conf-ints") {
-            opt.cfg.approx.confidenceForInts = true;
+            approxEdit(
+                [](ApproximatorConfig &a) { a.confidenceForInts = true; });
         } else if (arg == "--no-conf") {
-            opt.cfg.approx.confidenceDisabled = true;
+            approxEdit([](ApproximatorConfig &a) {
+                a.confidenceDisabled = true;
+            });
         } else if (arg == "--proportional") {
-            opt.cfg.approx.proportionalConfidence = true;
+            approxEdit([](ApproximatorConfig &a) {
+                a.proportionalConfidence = true;
+            });
         } else if (arg == "--degree") {
-            opt.cfg.approx.approxDegree =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.approxDegree = v; });
         } else if (arg == "--delay") {
-            opt.cfg.approx.valueDelay =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.valueDelay = v; });
         } else if (arg == "--mantissa-drop") {
-            opt.cfg.approx.mantissaDropBits =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            approxEdit(
+                [v](ApproximatorConfig &a) { a.mantissaDropBits = v; });
         } else if (arg == "--estimator") {
             const std::string e = need(i);
+            Estimator est;
             if (e == "average")
-                opt.cfg.approx.estimator = Estimator::Average;
+                est = Estimator::Average;
             else if (e == "last")
-                opt.cfg.approx.estimator = Estimator::Last;
+                est = Estimator::Last;
             else if (e == "stride")
-                opt.cfg.approx.estimator = Estimator::Stride;
+                est = Estimator::Stride;
             else
                 usage(argv[0]);
+            approxEdit(
+                [est](ApproximatorConfig &a) { a.estimator = est; });
         } else if (arg == "--prefetch-degree") {
-            opt.cfg.prefetch.degree =
-                static_cast<u32>(std::atoi(need(i)));
+            const u32 v = static_cast<u32>(std::atoi(need(i)));
+            opt.edits.push_back([v](ApproxMemory::Config &cfg) {
+                cfg.prefetch.degree = v;
+            });
+        } else if (arg == "--machine") {
+            opt.machineFiles.push_back(need(i));
         } else if (arg == "--seeds") {
             opt.seeds = static_cast<u32>(std::atoi(need(i)));
         } else if (arg == "--scale") {
@@ -156,8 +203,7 @@ parse(int argc, char **argv)
             opt.sweep.maxAttempts =
                 static_cast<u32>(std::atoi(need(i))) + 1;
         } else if (arg == "--timeout-ms") {
-            opt.sweep.timeoutMs =
-                static_cast<u64>(std::atoll(need(i)));
+            opt.sweep.timeoutMs = static_cast<u64>(std::atoll(need(i)));
         } else {
             usage(argv[0]);
         }
@@ -166,13 +212,61 @@ parse(int argc, char **argv)
     return opt;
 }
 
+/** One topology axis: a point label and the edited base config. */
+struct Axis
+{
+    std::string label;
+    ApproxMemory::Config cfg;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
+    Options opt = parse(argc, argv);
     Evaluator eval(opt.seeds, opt.scale);
+
+    // Resolve LVA_MACHINE (and the robustness knobs) up front: the
+    // topology axis must be known before points are built.
+    opt.sweep = resolveSweepOptions(opt.sweep);
+
+    const std::string prefix = "explore@";
+    std::vector<Axis> axes;
+    if (!opt.machineFiles.empty()) {
+        for (const std::string &file : opt.machineFiles) {
+            try {
+                auto m = std::make_shared<const MachineConfig>(
+                    machineFromFile(file));
+                axes.push_back({prefix + m->name, m->phase1Lva()});
+                // A single explicit machine also scopes the sweep
+                // manifest (the flag wins over LVA_MACHINE).
+                if (opt.machineFiles.size() == 1)
+                    opt.sweep.machine = m;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "lva_explore: %s\n", e.what());
+                return 2;
+            }
+        }
+        for (std::size_t i = 1; i < axes.size(); ++i)
+            for (std::size_t j = 0; j < i; ++j)
+                if (axes[i].label == axes[j].label) {
+                    std::fprintf(stderr,
+                                 "lva_explore: duplicate machine name "
+                                 "'%s' -- give each --machine file a "
+                                 "distinct \"name\"\n",
+                                 axes[i].label.c_str() + prefix.size());
+                    return 2;
+                }
+    } else if (opt.sweep.machine) {
+        axes.push_back({prefix + opt.sweep.machine->name,
+                        opt.sweep.machine->phase1Lva()});
+    } else {
+        axes.push_back({"explore", Evaluator::baselineLva()});
+    }
+    for (Axis &axis : axes)
+        for (const auto &edit : opt.edits)
+            edit(axis.cfg);
 
     std::vector<std::string> names;
     if (opt.workload == "all")
@@ -180,40 +274,55 @@ main(int argc, char **argv)
     else
         names.push_back(opt.workload);
 
+    const ApproxMemory::Config &shown = axes.front().cfg;
     std::printf("lva_explore: mode=%s ghb=%u lhb=%u table=%u "
                 "window=%.3g degree=%u delay=%u estimator=%s "
                 "seeds=%u scale=%.2f\n",
-                memModeName(opt.cfg.mode), opt.cfg.approx.ghbEntries,
-                opt.cfg.approx.lhbEntries,
-                opt.cfg.approx.tableEntries,
-                opt.cfg.approx.confidenceWindow,
-                opt.cfg.approx.approxDegree,
-                opt.cfg.approx.valueDelay,
-                estimatorName(opt.cfg.approx.estimator), eval.seeds(),
+                memModeName(shown.mode), shown.approx.ghbEntries,
+                shown.approx.lhbEntries, shown.approx.tableEntries,
+                shown.approx.confidenceWindow, shown.approx.approxDegree,
+                shown.approx.valueDelay,
+                estimatorName(shown.approx.estimator), eval.seeds(),
                 eval.scale());
+    if (axes.front().label != "explore") {
+        std::string joined;
+        for (const Axis &axis : axes) {
+            if (!joined.empty())
+                joined += ",";
+            joined += axis.label.substr(prefix.size());
+        }
+        std::printf("lva_explore: machines=%s\n", joined.c_str());
+    }
 
     Table table({"benchmark", "MPKI", "norm MPKI", "norm fetches",
                  "coverage", "output error"});
 
     std::vector<SweepPoint> points;
-    for (const auto &name : names)
-        points.push_back({"explore", name, opt.cfg});
+    std::vector<std::string> rows;
+    for (const Axis &axis : axes)
+        for (const auto &name : names) {
+            points.push_back({axis.label, name, axis.cfg});
+            rows.push_back(axes.size() == 1
+                               ? name
+                               : name + "@" +
+                                     axis.label.substr(prefix.size()));
+        }
 
     SweepRunner runner(eval);
     const SweepOutcome outcome = runner.runChecked(points, opt.sweep);
 
-    for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
         const EvalResult &r = outcome.results[i];
         table.addRow(
-            {names[i], fmtDouble(r.stats.valueOf("eval.mpki"), 3),
+            {rows[i], fmtDouble(r.stats.valueOf("eval.mpki"), 3),
              fmtDouble(r.stats.valueOf("eval.normMpki"), 3),
              fmtDouble(r.stats.valueOf("eval.normFetches"), 3),
              fmtPercent(r.stats.valueOf("eval.coverage"), 1),
              fmtPercent(r.stats.valueOf("eval.outputError"), 1)});
     }
     table.print("results");
-    std::printf("wrote %s\n",
-                exportSweepStats("lva_explore", points, outcome)
-                    .c_str());
+    std::printf(
+        "wrote %s\n",
+        exportSweepStats("lva_explore", points, outcome).c_str());
     return reportSweepFailures(outcome);
 }

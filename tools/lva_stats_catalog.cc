@@ -16,6 +16,10 @@
  * scripts/check_docs.sh diffs this output against docs/metrics.md in
  * both directions: every documented path must exist in a registry and
  * every registered path must be documented.
+ *
+ * --machine-schema switches to a second catalog: one line per
+ * lva-machine-v1 configuration key (src/sim/machine_config.cc), which
+ * the same script diffs against the key table in docs/topology.md.
  */
 
 #include <algorithm>
@@ -24,12 +28,15 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+
 #include "core/approx_memory.hh"
 #include "eval/coord.hh"
 #include "eval/evaluator.hh"
 #include "eval/service.hh"
 #include "eval/sweep.hh"
 #include "sim/full_system.hh"
+#include "sim/machine_config.hh"
 #include "util/stat_registry.hh"
 
 using namespace lva;
@@ -74,8 +81,21 @@ appendDefs(std::vector<CatalogRow> &rows,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc == 2 && std::strcmp(argv[1], "--machine-schema") == 0) {
+        // The machine-schema catalog: one dotted key per line, in the
+        // parser's own order. docs/topology.md must list exactly this
+        // set (gated two-way by scripts/check_docs.sh).
+        for (const std::string &key : machineSchemaKeys())
+            std::printf("%s\n", key.c_str());
+        return 0;
+    }
+    if (argc != 1) {
+        std::fprintf(stderr, "usage: %s [--machine-schema]\n", argv[0]);
+        return 2;
+    }
+
     std::vector<CatalogRow> rows;
 
     // Phase-1 memory model: each mode registers a different component

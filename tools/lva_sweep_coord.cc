@@ -75,6 +75,7 @@
 #include "eval/service.hh"
 #include "eval/sweep.hh"
 #include "fleet_common.hh"
+#include "sim/machine_config.hh"
 #include "util/checkpoint.hh"
 #include "util/env_knob.hh"
 #include "util/fault.hh"
@@ -100,6 +101,10 @@ struct Options
     u64 timeoutMs = 0;      ///< per-shard RPC deadline
     u32 seeds = 0;          ///< for the manifest context key
     double scale = 0.0;     ///< for the manifest context key
+    /** Machine topology (--machine/LVA_MACHINE); null = Table II.
+     *  Embedded in every scatter request so all workers simulate the
+     *  same CMP, and folded into the manifest context key. */
+    std::shared_ptr<const MachineConfig> machine;
     /** Flags forwarded verbatim to every worker. */
     std::vector<std::string> passThrough;
 };
@@ -110,7 +115,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --driver NAME --points FILE [--out FILE]\n"
                  "  [--fleet N] [--shards N] [--served PATH]\n"
-                 "  [--resume] [--timeout-ms N] [--print-stats]\n"
+                 "  [--machine FILE] [--resume] [--timeout-ms N]\n"
+                 "  [--print-stats]\n"
                  "  [--workers N] [--queue N] [--deadline-ms N]\n"
                  "  [--retries N] [--jobs N] [--cache N] [--seeds N]\n"
                  "  [--scale F]\n",
@@ -122,6 +128,7 @@ Options
 parse(int argc, char **argv)
 {
     Options opt;
+    std::string machineFile;
     // Strict parse (util/env_knob.hh): junk, signs and out-of-range
     // values warn and keep the default instead of being coerced.
     opt.fleet = static_cast<u32>(envKnobU64("LVA_FLEET_SIZE", 0, 1, 64));
@@ -148,6 +155,8 @@ parse(int argc, char **argv)
             opt.shards = static_cast<u32>(std::atoi(need(i)));
         } else if (arg == "--served") {
             opt.served = need(i);
+        } else if (arg == "--machine") {
+            machineFile = need(i);
         } else if (arg == "--resume") {
             opt.resume = true;
         } else if (arg == "--print-stats") {
@@ -183,6 +192,22 @@ parse(int argc, char **argv)
         opt.timeoutMs = 600000;
     if (opt.served.empty())
         opt.served = fleet::defaultServedPath();
+    if (machineFile.empty()) {
+        // String-valued config path; validated by the parser it feeds.
+        // lva-audit: allow(knob-unvalidated)
+        const char *env = std::getenv("LVA_MACHINE");
+        if (env != nullptr && *env != '\0')
+            machineFile = env;
+    }
+    if (!machineFile.empty()) {
+        try {
+            opt.machine = std::make_shared<MachineConfig>(
+                machineFromFile(machineFile));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "lva_sweep_coord: %s\n", e.what());
+            std::exit(2);
+        }
+    }
     return opt;
 }
 
@@ -429,7 +454,12 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points;
     try {
         pointsJson = parseJson(raw.str());
-        points = sweepPointsFromJson(pointsJson);
+        // The same machine base the workers will decode from the
+        // embedded "machine" member, so the local plan/digest/merge
+        // view of each point matches the worker's exactly.
+        points = sweepPointsFromJson(
+            pointsJson, opt.machine ? opt.machine->phase1Lva()
+                                    : Evaluator::baselineLva());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lva_sweep_coord: bad points file %s: %s\n",
                      opt.pointsFile.c_str(), e.what());
@@ -452,9 +482,16 @@ main(int argc, char **argv)
     // invalidate a recorded shard: seeds, scale, export schema, and
     // the shard plan itself.
     const Evaluator eval(opt.seeds, opt.scale);
+    std::string context = coordContextKey(eval, opt.shards);
+    // Same machine-binding rule as sweepContextKey(eval, opts): a
+    // manifest written under one topology is never resumed under
+    // another, and the no-machine key stays byte-identical.
+    if (opt.machine)
+        context += ";machine=" +
+                   hexU64(fnv1a64(renderMachineJson(*opt.machine)));
     CheckpointManifest manifest(
         resultsPath("checkpoints/" + opt.driver + ".coord.jsonl"),
-        opt.driver, coordContextKey(eval, opt.shards), opt.resume);
+        opt.driver, context, opt.resume);
 
     std::vector<ShardRecord> records;
     std::vector<u8> done(opt.shards, 0);
@@ -504,11 +541,14 @@ main(int argc, char **argv)
                 joined += ',';
             joined += renderJson(pointsJson.items[g]);
         }
-        const std::string request =
+        std::string request =
             std::string("{\"schema\":\"lva-rpc-v1\",\"op\":\"sweep\"") +
             ",\"driver\":" + jsonQuote(opt.driver) +
             ",\"shard\":" + std::to_string(s) +
-            ",\"detail\":true,\"points\":[" + joined + "]}";
+            ",\"detail\":true";
+        if (opt.machine)
+            request += ",\"machine\":" + renderMachineJson(*opt.machine);
+        request += ",\"points\":[" + joined + "]}";
         scatter.emplace_back([&, s, request] {
             try {
                 ShardRecord record = runShard(

@@ -3,22 +3,29 @@
  * lva_trace — record, inspect and replay full-system traces.
  *
  *   lva_trace record <workload> <file> [--seed N] [--scale F]
+ *       [--machine FILE]
  *   lva_trace info <file>
  *   lva_trace replay <file> [--degree N] [--precise] [--hetero]
+ *       [--machine FILE]
  *
  * Recording runs the workload's precise execution once and saves the
- * 4-thread access stream; replay drives the Table II full-system
- * timing model without re-executing the workload.
+ * per-thread access stream (one thread per core of the machine, the
+ * Table II 4-core CMP by default); replay drives the full-system
+ * timing model without re-executing the workload. --machine swaps in
+ * an lva-machine-v1 topology file (docs/topology.md) on either side;
+ * a replayed trace must carry exactly one thread per replay core.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "cpu/trace.hh"
 #include "cpu/trace_io.hh"
 #include "sim/full_system.hh"
+#include "sim/machine_config.hh"
 #include "workloads/workload.hh"
 
 using namespace lva;
@@ -32,10 +39,24 @@ usage()
         stderr,
         "usage:\n"
         "  lva_trace record <workload> <file> [--seed N] [--scale F]\n"
+        "      [--machine FILE]\n"
         "  lva_trace info <file>\n"
         "  lva_trace replay <file> [--degree N] [--precise] "
-        "[--hetero]\n");
+        "[--hetero]\n"
+        "      [--machine FILE]\n");
     std::exit(2);
+}
+
+/** Load an lva-machine-v1 file or exit with its parse diagnostic. */
+MachineConfig
+loadMachineOrDie(const char *path)
+{
+    try {
+        return machineFromFile(path);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lva_trace: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 int
@@ -49,6 +70,8 @@ cmdRecord(int argc, char **argv)
             params.seed = std::strtoull(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc)
             params.scale = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--machine") && i + 1 < argc)
+            params.threads = loadMachineOrDie(argv[++i]).cores;
         else
             usage();
     }
@@ -104,6 +127,7 @@ cmdReplay(int argc, char **argv)
     bool precise = false;
     bool hetero = false;
     u32 degree = 0;
+    const char *machineFile = nullptr;
     for (int i = 3; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--degree") && i + 1 < argc)
             degree = static_cast<u32>(std::atoi(argv[++i]));
@@ -111,14 +135,29 @@ cmdReplay(int argc, char **argv)
             precise = true;
         else if (!std::strcmp(argv[i], "--hetero"))
             hetero = true;
+        else if (!std::strcmp(argv[i], "--machine") && i + 1 < argc)
+            machineFile = argv[++i];
         else
             usage();
     }
 
     const auto traces = readTraces(argv[2]);
-    FullSystemConfig cfg = precise ? FullSystemConfig::baseline()
-                                   : FullSystemConfig::lva(degree);
-    cfg.heteroNoc = hetero;
+    FullSystemConfig cfg;
+    if (machineFile != nullptr)
+        cfg = loadMachineOrDie(machineFile)
+                  .fullSystem(/*lvaEnabled=*/!precise, degree);
+    else
+        cfg = precise ? FullSystemConfig::baseline()
+                      : FullSystemConfig::lva(degree);
+    if (hetero) // the flag forces it on top of the machine file
+        cfg.heteroNoc = true;
+    if (traces.size() != cfg.cores) {
+        std::fprintf(stderr,
+                     "lva_trace: trace has %zu threads but the replay "
+                     "machine has %u cores\n",
+                     traces.size(), cfg.cores);
+        return 2;
+    }
     FullSystemSim sim(cfg);
     const FullSystemResult r = sim.run(traces);
 
